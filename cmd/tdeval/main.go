@@ -1,0 +1,108 @@
+// Command tdeval regenerates the experimental evaluation of the paper
+// (Sec. VI): Table I (edge detection on synthetic validation data), the OCR
+// synthetic validation, the extrapolation-corpus statistics, Table II
+// (object detection in extrapolation), Table III (OCR in extrapolation) and
+// the overall SPO-extraction performance.
+//
+// Usage:
+//
+//	tdeval                      # run everything
+//	tdeval -table 2             # one table: 1, ocr-synth, stats, 2, 3, overall
+//	tdeval -table overall -verbose
+//	tdeval -g1 128 -g2 64 -g3 48  # larger training mix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"tdmagic/internal/core"
+	"tdmagic/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdeval: ")
+	var (
+		table   = flag.String("table", "all", "experiment: all, 1, ocr-synth, stats, 2, 3, overall, noise, scale")
+		verbose = flag.Bool("verbose", false, "per-diagram detail for overall")
+		seed    = flag.Int64("seed", 1, "random seed")
+		g1      = flag.Int("g1", 64, "G1 training pictures")
+		g2      = flag.Int("g2", 32, "G2 training pictures")
+		g3      = flag.Int("g3", 24, "G3 training pictures")
+		valN    = flag.Int("val", 40, "synthetic validation pictures")
+	)
+	flag.Parse()
+
+	opts := eval.DefaultOptions()
+	opts.Seed = *seed
+	opts.TrainG1, opts.TrainG2, opts.TrainG3 = *g1, *g2, *g3
+	opts.Validation = *valN
+
+	var pipe *core.Pipeline
+	if *table != "stats" {
+		t0 := time.Now()
+		p, err := eval.TrainPipeline(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trained pipeline in %v\n", time.Since(t0))
+		pipe = p
+	}
+
+	run := func(name string) bool { return *table == "all" || *table == name }
+
+	if run("1") || run("ocr-synth") {
+		val, err := eval.GenValidationSet(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if run("1") {
+			eval.TableI(pipe, val).Print(os.Stdout)
+			fmt.Println()
+		}
+		if run("ocr-synth") {
+			eval.OCRSynthetic(pipe, val).Print(os.Stdout, "OCR validation accuracy on synthetic data (Sec. VI text)")
+			fmt.Println()
+		}
+	}
+	if run("stats") || run("2") || run("3") || run("overall") {
+		stats, corpus, err := eval.CorpusStats(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if run("stats") {
+			stats.Print(os.Stdout)
+			fmt.Println()
+		}
+		if run("2") {
+			eval.TableII(pipe, corpus).Print(os.Stdout)
+			fmt.Println()
+		}
+		if run("3") {
+			eval.TableIII(pipe, corpus).Print(os.Stdout, "TABLE III: OCR Accuracy in Extrapolation.")
+			fmt.Println()
+		}
+		if run("overall") {
+			eval.Overall(pipe, corpus).Print(os.Stdout, *verbose)
+		}
+	}
+	if run("scale") {
+		_, corpus, err := eval.CorpusStats(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval.ScaleRobustness(pipe, corpus, []float64{0.6, 0.8, 1.0, 1.25}).Print(os.Stdout)
+		fmt.Println()
+	}
+	if run("noise") {
+		res, err := eval.NoiseRobustness(pipe, *seed+2000, 20, []int{0, 200, 800, 2000, 5000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Print(os.Stdout)
+	}
+}

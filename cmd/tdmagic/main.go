@@ -1,0 +1,104 @@
+// Command tdmagic translates a timing-diagram PNG into its SPO formal
+// specification.
+//
+// Usage:
+//
+//	tdmagic -model model.gob diagram.png              # textual specification
+//	tdmagic -model model.gob -dot diagram.png         # Graphviz DAG (Fig. 3)
+//	tdmagic -model model.gob -ltl diagram.png         # temporal-logic export
+//	tdmagic -model model.gob -sva diagram.png         # SystemVerilog assertions
+//	tdmagic -model model.gob -report diagram.png      # detection details
+//	tdmagic -model model.gob -overlay o.png diagram.png  # annotated picture
+//
+// Train a model first with tdtrain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/png"
+	"log"
+	"os"
+
+	"tdmagic/internal/core"
+	"tdmagic/internal/imgproc"
+	"tdmagic/internal/ltl"
+	"tdmagic/internal/sva"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdmagic: ")
+	var (
+		model   = flag.String("model", "", "trained model file from tdtrain (required)")
+		dot     = flag.Bool("dot", false, "emit the SPO as a Graphviz digraph")
+		asLTL   = flag.Bool("ltl", false, "emit a temporal-logic formula")
+		asSVA   = flag.Bool("sva", false, "emit SystemVerilog assertions")
+		report  = flag.Bool("report", false, "also print detection details")
+		overlay = flag.String("overlay", "", "write the annotated picture (paper Fig. 6/7 style) to this PNG")
+	)
+	flag.Parse()
+	if *model == "" || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	pipe, err := core.LoadFile(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := imgproc.DecodePNG(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, rep, err := pipe.Translate(img)
+	if err != nil {
+		log.Fatalf("translate: %v", err)
+	}
+	switch {
+	case *dot:
+		fmt.Print(spec.DOT(flag.Arg(0)))
+	case *asLTL:
+		formula, err := ltl.Formula(spec, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(formula)
+	case *asSVA:
+		src, err := sva.Export(spec, nil, sva.Options{ModuleName: "td_checker"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(src)
+	default:
+		fmt.Print(spec.SpecText())
+	}
+	if *overlay != "" {
+		f, err := os.Create(*overlay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := png.Encode(f, core.RenderOverlay(img, rep)); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote overlay %s\n", *overlay)
+	}
+	if *report {
+		fmt.Printf("\n-- detections --\n")
+		for _, d := range rep.Edges {
+			fmt.Printf("edge %-9s %v score %.2f\n", d.Type, d.Box, d.Score)
+		}
+		for _, t := range rep.Texts {
+			fmt.Printf("text %-14q %v conf %.2f\n", t.Text, t.Box, t.Conf)
+		}
+		if rep.SEI != nil {
+			fmt.Printf("v-lines %d, h-lines %d, arrows %d\n",
+				len(rep.SEI.VLines), len(rep.SEI.HLines), len(rep.SEI.Arrows))
+		}
+	}
+}

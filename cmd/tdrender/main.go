@@ -1,0 +1,61 @@
+// Command tdrender rasterises a textual timing-diagram description (the
+// .td language of internal/tdl) into a PNG, and prints the ground-truth
+// SPO the description denotes.
+//
+// Usage:
+//
+//	tdrender -in diagram.td -out diagram.png [-spec]
+//
+// Together with tdmagic this closes the loop: author a diagram as text,
+// render it, translate the picture back, and compare the two
+// specifications.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tdmagic/internal/tdl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdrender: ")
+	var (
+		in   = flag.String("in", "", ".td description file (required)")
+		out  = flag.String("out", "", "output PNG file (required)")
+		spec = flag.Bool("spec", true, "print the diagram's ground-truth SPO")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := tdl.Parse(string(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample, err := d.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sample.Image.EncodePNG(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%dx%d)\n", *out, sample.Image.W, sample.Image.H)
+	if *spec {
+		fmt.Println("ground-truth specification:")
+		fmt.Print(sample.Truth.SpecText())
+	}
+}

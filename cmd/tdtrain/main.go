@@ -1,0 +1,57 @@
+// Command tdtrain trains the TD-Magic pipeline (the SED edge classifier and
+// the OCR glyph templates) on synthetic L-TD-G data and saves the trained
+// model.
+//
+// Usage:
+//
+//	tdtrain -out model.gob [-g1 64 -g2 32 -g3 24] [-seed 1] [-epochs 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"tdmagic/internal/core"
+	"tdmagic/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdtrain: ")
+	var (
+		out    = flag.String("out", "", "output model file (required)")
+		g1     = flag.Int("g1", 64, "G1 training pictures")
+		g2     = flag.Int("g2", 32, "G2 training pictures")
+		g3     = flag.Int("g3", 24, "G3 training pictures")
+		seed   = flag.Int64("seed", 1, "random seed")
+		epochs = flag.Int("epochs", 30, "SED training epochs")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := eval.DefaultOptions()
+	opts.Seed = *seed
+	opts.TrainG1, opts.TrainG2, opts.TrainG3 = *g1, *g2, *g3
+	train, err := eval.GenTrainingSet(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultTrainConfig()
+	cfg.SEDTrain.Epochs = *epochs
+	cfg.NameLexicon = eval.NameLexicon()
+	cfg.ValueLexicon = eval.ValueLexicon()
+	pipe, err := core.Train(rand.New(rand.NewSource(*seed)), train, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pipe.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d pictures (G1=%d G2=%d G3=%d), model saved to %s\n",
+		len(train), *g1, *g2, *g3, *out)
+}

@@ -1,0 +1,104 @@
+// Datasheet example: the paper's Fig. 4 (left) — a power-switch datasheet
+// diagram where a digital input V_INA drives a ramping output V_OUTA with
+// turn-on/turn-off delays t_D(on) and t_D(off) (Example 1 of the paper).
+//
+// The example translates the clean diagram, then a second variant that
+// reproduces the paper's Example 3 corner case: step edges drawn nearly as
+// thick as the (solid) vertical annotation lines, which genuinely confuses
+// the edge detector.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tdmagic"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training the pipeline on synthetic data...")
+	train, err := tdmagic.NewGenerator(tdmagic.G1, 1).GenerateN(60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := tdmagic.Train(rand.New(rand.NewSource(1)), train, tdmagic.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== Fig. 4 (left), clean drawing (paper Example 1) ==")
+	clean := fig4Left(false)
+	translate(pipe, clean)
+
+	fmt.Println("\n== same diagram, thick step edges + solid vertical lines (paper Example 3) ==")
+	thick := fig4Left(true)
+	translate(pipe, thick)
+}
+
+// translate renders d, runs the pipeline and reports the result against
+// the ground truth.
+func translate(pipe *tdmagic.Pipeline, d *tdmagic.Diagram) {
+	sample, err := d.Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, _, err := pipe.Translate(sample.Image)
+	if err != nil {
+		fmt.Printf("translation failed: %v\n", err)
+		return
+	}
+	fmt.Print(spec.SpecText())
+	switch {
+	case spec.TotalEqual(sample.Truth):
+		fmt.Println("-> totally correct")
+	case spec.TemplateEqual(sample.Truth):
+		fmt.Println("-> structurally correct, some text differs")
+	default:
+		fmt.Printf("-> structural errors (constraint recall %.2f); ground truth:\n", spec.ConstraintRecall(sample.Truth))
+		fmt.Print(sample.Truth.SpecText())
+	}
+}
+
+// fig4Left builds the V_INA / V_OUTA diagram. With thick=true the step
+// edges use the thick stroke and the event lines are drawn solid — the
+// geometry of the paper's Example 3 failure.
+func fig4Left(thick bool) *tdmagic.Diagram {
+	st := tdmagic.DefaultStyle()
+	if thick {
+		st.SolidVLines = true
+		st.LineStroke = 2
+	}
+	return &tdmagic.Diagram{
+		Name: "vnh5050a-fig6",
+		Signals: []tdmagic.Signal{
+			{
+				Name: "V_{INA}",
+				Kind: tdmagic.Digital,
+				Edges: []tdmagic.Edge{
+					{Type: tdmagic.RiseStep, X0: 0.10, X1: 0.16, YLow: 0.1, YHigh: 0.9, HasEvent: true, Thick: thick},
+					{Type: tdmagic.FallStep, X0: 0.55, X1: 0.61, YLow: 0.1, YHigh: 0.9, HasEvent: true, Thick: thick},
+				},
+			},
+			{
+				Name:      "V_{OUTA}",
+				Kind:      tdmagic.Ramp,
+				BoundHigh: "V_{CC}",
+				BoundLow:  "GND",
+				Edges: []tdmagic.Edge{
+					{Type: tdmagic.RiseRamp, X0: 0.20, X1: 0.38, YLow: 0.1, YHigh: 0.9,
+						Threshold: 0.9, ThresholdText: "90%", HasEvent: true},
+					{Type: tdmagic.FallRamp, X0: 0.65, X1: 0.85, YLow: 0.1, YHigh: 0.9,
+						Threshold: 0.1, ThresholdText: "10%", HasEvent: true},
+				},
+			},
+		},
+		Arrows: []tdmagic.Arrow{
+			{From: tdmagic.EventRef{Signal: 0, Edge: 0}, To: tdmagic.EventRef{Signal: 1, Edge: 0}, Label: "t_{D(on)}", Y: 0.3},
+			{From: tdmagic.EventRef{Signal: 0, Edge: 1}, To: tdmagic.EventRef{Signal: 1, Edge: 1}, Label: "t_{D(off)}", Y: 0.7},
+		},
+		Style: st,
+	}
+}

@@ -1,0 +1,116 @@
+// Monitor example: use a timing diagram as a runtime-verification
+// specification — the application the paper's introduction motivates.
+//
+// The pipeline translates a rendered datasheet diagram into an SPO; the SPO
+// plus the datasheet's delay table becomes a monitor specification; two
+// simulated execution traces are then checked against it: one conforming,
+// one with a turn-on delay out of range.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tdmagic"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training the pipeline on synthetic data...")
+	train, err := tdmagic.NewGenerator(tdmagic.G1, 3).GenerateN(60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := tdmagic.Train(rand.New(rand.NewSource(3)), train, tdmagic.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Translate the diagram into a specification.
+	sample, err := diagramUnderTest().Render()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, _, err := pipe.Translate(sample.Image)
+	if err != nil {
+		log.Fatalf("translation failed: %v", err)
+	}
+	fmt.Println("\nspecification extracted from the picture:")
+	fmt.Print(spec.SpecText())
+
+	// The datasheet's electrical characteristics give the delay ranges
+	// (times in microseconds here).
+	ms := &tdmagic.MonitorSpec{
+		SPO: spec,
+		Delays: map[string]tdmagic.Bounds{
+			"t_{D(on)}":  {Min: 1, Max: 4},
+			"t_{D(off)}": {Min: 1, Max: 4},
+		},
+	}
+
+	// Trace 1: synthesised to satisfy the spec (delays at interval
+	// midpoints).
+	good, err := tdmagic.SynthesizeTrace(ms, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tdmagic.Check(ms, good)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconforming trace: OK=%v, %d violations\n", res.OK(), len(res.Violations))
+
+	// Trace 2: stretch the output signal's response so t_D(on) exceeds
+	// its maximum.
+	bad, err := tdmagic.SynthesizeTrace(ms, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if out := bad.Signal("V_{OUTA}"); out != nil {
+		for i := range out.Points {
+			out.Points[i].T += 3.5 // late response
+		}
+	}
+	res, err = tdmagic.Check(ms, bad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("late-response trace: OK=%v\n", res.OK())
+	for _, v := range res.Violations {
+		fmt.Printf("  violation: %v\n", v)
+	}
+}
+
+// diagramUnderTest is the Fig. 4 (left) power-switch diagram.
+func diagramUnderTest() *tdmagic.Diagram {
+	return &tdmagic.Diagram{
+		Name: "monitored",
+		Signals: []tdmagic.Signal{
+			{
+				Name: "V_{INA}",
+				Kind: tdmagic.Digital,
+				Edges: []tdmagic.Edge{
+					{Type: tdmagic.RiseStep, X0: 0.10, X1: 0.16, YLow: 0.1, YHigh: 0.9, HasEvent: true},
+					{Type: tdmagic.FallStep, X0: 0.55, X1: 0.61, YLow: 0.1, YHigh: 0.9, HasEvent: true},
+				},
+			},
+			{
+				Name: "V_{OUTA}",
+				Kind: tdmagic.Ramp,
+				Edges: []tdmagic.Edge{
+					{Type: tdmagic.RiseRamp, X0: 0.20, X1: 0.38, YLow: 0.1, YHigh: 0.9,
+						Threshold: 0.9, ThresholdText: "90%", HasEvent: true},
+					{Type: tdmagic.FallRamp, X0: 0.65, X1: 0.85, YLow: 0.1, YHigh: 0.9,
+						Threshold: 0.1, ThresholdText: "10%", HasEvent: true},
+				},
+			},
+		},
+		Arrows: []tdmagic.Arrow{
+			{From: tdmagic.EventRef{Signal: 0, Edge: 0}, To: tdmagic.EventRef{Signal: 1, Edge: 0}, Label: "t_{D(on)}", Y: 0.3},
+			{From: tdmagic.EventRef{Signal: 0, Edge: 1}, To: tdmagic.EventRef{Signal: 1, Edge: 1}, Label: "t_{D(off)}", Y: 0.7},
+		},
+		Style: tdmagic.DefaultStyle(),
+	}
+}

@@ -1,0 +1,3 @@
+module tdmagic
+
+go 1.22

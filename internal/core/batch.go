@@ -1,0 +1,49 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"tdmagic/internal/imgproc"
+	"tdmagic/internal/spo"
+)
+
+// BatchResult is one picture's outcome in a batch translation.
+type BatchResult struct {
+	Index int
+	SPO   *spo.SPO
+	Rep   *Report
+	Err   error
+}
+
+// TranslateAll translates many pictures concurrently, fanning the work out
+// over workers goroutines (default: GOMAXPROCS). The pipeline is
+// read-only during translation, so a single trained instance serves all
+// workers. Results are returned in input order.
+func (p *Pipeline) TranslateAll(imgs []*imgproc.Gray, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(imgs) {
+		workers = len(imgs)
+	}
+	results := make([]BatchResult, len(imgs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s, rep, err := p.Translate(imgs[i])
+				results[i] = BatchResult{Index: i, SPO: s, Rep: rep, Err: err}
+			}
+		}()
+	}
+	for i := range imgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,163 @@
+// Package core wires the TD-Magic pipeline together: binarisation, LAD
+// contour detection, SED edge detection, OCR text reading, and SEI semantic
+// interpretation, turning a bitmap timing diagram into its SPO formal
+// specification (paper Fig. 2).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/imgproc"
+	"tdmagic/internal/lad"
+	"tdmagic/internal/ocr"
+	"tdmagic/internal/sed"
+	"tdmagic/internal/sei"
+	"tdmagic/internal/spo"
+)
+
+// Pipeline is a trained TD-Magic instance.
+type Pipeline struct {
+	SED    *sed.Model
+	OCR    *ocr.Model
+	LADCfg lad.Config
+	OCRCfg ocr.DetectConfig
+	SEICfg sei.Config
+}
+
+// Report exposes every intermediate result of a translation, for
+// evaluation, debugging and rendering.
+type Report struct {
+	Lines *lad.Result
+	Edges []sed.Detection
+	Texts []ocr.Result
+	SEI   *sei.Output
+}
+
+// TrainConfig bundles the training knobs of both learned modules.
+type TrainConfig struct {
+	SEDCfg       sed.Config
+	SEDTrain     sed.TrainConfig
+	OCRCfg       ocr.DetectConfig
+	LADCfg       lad.Config
+	SEICfg       sei.Config
+	NameLexicon  []string // optional signal-name dictionary for SEI
+	ValueLexicon []string // optional signal-value dictionary for SEI
+}
+
+// DefaultTrainConfig returns the configuration used in the experiments.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		SEDCfg:   sed.DefaultConfig(),
+		SEDTrain: sed.DefaultTrainConfig(),
+		OCRCfg:   ocr.DefaultDetectConfig(),
+		LADCfg:   lad.DefaultConfig(),
+		SEICfg:   sei.DefaultConfig(),
+	}
+}
+
+// Train fits a pipeline on labelled synthetic samples: the SED classifier
+// is trained from scratch, and the OCR glyph templates are refined from the
+// samples' text crops.
+func Train(rng *rand.Rand, samples []*dataset.Sample, cfg TrainConfig) (*Pipeline, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no training samples")
+	}
+	sedModel, err := sed.Train(rng, samples, cfg.SEDCfg, cfg.SEDTrain)
+	if err != nil {
+		return nil, fmt.Errorf("core: SED training: %w", err)
+	}
+	ocrModel := ocr.NewFontModel()
+	ocrModel.Train(samples)
+	seiCfg := cfg.SEICfg
+	if len(cfg.NameLexicon) > 0 {
+		seiCfg.NameLexicon = ocr.NewLexicon(cfg.NameLexicon)
+	}
+	if len(cfg.ValueLexicon) > 0 {
+		seiCfg.ValueLexicon = ocr.NewLexicon(cfg.ValueLexicon)
+	}
+	return &Pipeline{
+		SED:    sedModel,
+		OCR:    ocrModel,
+		LADCfg: cfg.LADCfg,
+		OCRCfg: cfg.OCRCfg,
+		SEICfg: seiCfg,
+	}, nil
+}
+
+// Translate converts a timing-diagram picture into its SPO.
+func (p *Pipeline) Translate(img *imgproc.Gray) (*spo.SPO, *Report, error) {
+	rep := p.analyze(img)
+	out, err := sei.Interpret(sei.Input{
+		Width:  img.W,
+		Height: img.H,
+		Edges:  rep.Edges,
+		Lines:  rep.Lines,
+		Texts:  rep.Texts,
+	}, p.SEICfg)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.SEI = out
+	return out.SPO, rep, nil
+}
+
+// TranslateWithEdges runs LAD + OCR + SEI with externally supplied edge
+// boxes (e.g. ground truth, for oracle experiments and ablations).
+func (p *Pipeline) TranslateWithEdges(img *imgproc.Gray, edges []sed.Detection) (*spo.SPO, *Report, error) {
+	rep := p.analyze(img)
+	rep.Edges = edges
+	out, err := sei.Interpret(sei.Input{
+		Width:  img.W,
+		Height: img.H,
+		Edges:  edges,
+		Lines:  rep.Lines,
+		Texts:  rep.Texts,
+	}, p.SEICfg)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.SEI = out
+	return out.SPO, rep, nil
+}
+
+// analyze runs the perception stages shared by every translation mode.
+// Edge detections that coincide with recognised text are discarded: a
+// glyph like the signal name "X" is itself a small double-ramp shape, and
+// only the cross-check against OCR separates the two readings.
+func (p *Pipeline) analyze(img *imgproc.Gray) *Report {
+	lines := lad.Detect(img, p.LADCfg)
+	rep := &Report{Lines: lines}
+	if p.OCR != nil {
+		rep.Texts = p.OCR.ReadAll(lines.BW, lines, p.OCRCfg)
+	}
+	if p.SED != nil {
+		dets := p.SED.Detect(img, lines)
+		kept := dets[:0]
+		for _, d := range dets {
+			isText := false
+			for _, t := range rep.Texts {
+				if d.Box.IoU(t.Box) >= 0.4 || t.Box.Expand(2, 2).Contains(d.Box) {
+					isText = true
+					break
+				}
+			}
+			if !isText {
+				kept = append(kept, d)
+			}
+		}
+		rep.Edges = kept
+	}
+	return rep
+}
+
+// OracleEdges converts ground-truth edge boxes into detections, for oracle
+// experiments.
+func OracleEdges(s *dataset.Sample) []sed.Detection {
+	dets := make([]sed.Detection, 0, len(s.Edges))
+	for _, e := range s.Edges {
+		dets = append(dets, sed.Detection{Box: e.Box, Type: e.Type, Score: 1})
+	}
+	return dets
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"image"
+	"image/color"
+
+	"tdmagic/internal/geom"
+	"tdmagic/internal/imgproc"
+)
+
+// Overlay colours, matching the paper's Sec. VI examples: detected edge
+// boxes in grey, V-lines in blue (like the recognised texts), H-lines in
+// red, arrows in green.
+var (
+	overlayEdge  = color.RGBA{R: 128, G: 128, B: 128, A: 255}
+	overlayText  = color.RGBA{R: 40, G: 80, B: 220, A: 255}
+	overlayVLine = color.RGBA{R: 40, G: 80, B: 220, A: 255}
+	overlayHLine = color.RGBA{R: 220, G: 40, B: 40, A: 255}
+	overlayArrow = color.RGBA{R: 30, G: 160, B: 60, A: 255}
+)
+
+// RenderOverlay draws a translation report on top of the analysed picture,
+// in the colour scheme of the paper's extrapolation examples (Figs. 6-7):
+// detected edge boxes, text boxes, classified V-/H-lines and arrows.
+func RenderOverlay(img *imgproc.Gray, rep *Report) *image.RGBA {
+	w, h := img.W, img.H
+	out := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g := img.At(x, y)
+			out.SetRGBA(x, y, color.RGBA{R: g, G: g, B: g, A: 255})
+		}
+	}
+	if rep == nil {
+		return out
+	}
+	for _, d := range rep.Edges {
+		drawRect(out, d.Box, overlayEdge)
+	}
+	for _, t := range rep.Texts {
+		drawRect(out, t.Box.Expand(1, 1), overlayText)
+	}
+	if rep.SEI != nil {
+		for _, v := range rep.SEI.VLines {
+			drawVSeg(out, v, overlayVLine)
+		}
+		for _, hl := range rep.SEI.HLines {
+			drawHSeg(out, hl, overlayHLine)
+		}
+		for _, a := range rep.SEI.Arrows {
+			drawHSeg(out, geom.HSeg{Y: a.Y, X0: a.X0, X1: a.X1}, overlayArrow)
+			drawVSeg(out, geom.VSeg{X: a.X0, Y0: a.Y - 4, Y1: a.Y + 4}, overlayArrow)
+			drawVSeg(out, geom.VSeg{X: a.X1, Y0: a.Y - 4, Y1: a.Y + 4}, overlayArrow)
+		}
+	}
+	return out
+}
+
+func drawRect(img *image.RGBA, r geom.Rect, c color.RGBA) {
+	for x := r.X0; x <= r.X1; x++ {
+		setPx(img, x, r.Y0, c)
+		setPx(img, x, r.Y1, c)
+	}
+	for y := r.Y0; y <= r.Y1; y++ {
+		setPx(img, r.X0, y, c)
+		setPx(img, r.X1, y, c)
+	}
+}
+
+func drawVSeg(img *image.RGBA, s geom.VSeg, c color.RGBA) {
+	for y := s.Y0; y <= s.Y1; y++ {
+		setPx(img, s.X, y, c)
+	}
+}
+
+func drawHSeg(img *image.RGBA, s geom.HSeg, c color.RGBA) {
+	for x := s.X0; x <= s.X1; x++ {
+		setPx(img, x, s.Y, c)
+	}
+}
+
+func setPx(img *image.RGBA, x, y int, c color.RGBA) {
+	if image.Pt(x, y).In(img.Rect) {
+		img.SetRGBA(x, y, c)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"tdmagic/internal/lad"
+	"tdmagic/internal/nn"
+	"tdmagic/internal/ocr"
+	"tdmagic/internal/sed"
+	"tdmagic/internal/sei"
+)
+
+// pipelineGob is the serialised form of a trained pipeline.
+type pipelineGob struct {
+	SEDNet       *nn.Net
+	SEDCfg       sed.Config
+	OCRModel     map[rune]*ocr.Template
+	LADCfg       lad.Config
+	OCRCfg       ocr.DetectConfig
+	SEICfg       seiConfigGob
+	NameLexicon  []string
+	ValueLexicon []string
+}
+
+// seiConfigGob mirrors sei.Config without the lexicon pointer.
+type seiConfigGob struct {
+	Expand         int
+	YTol           int
+	FullSpanFrac   float64
+	TopTol         int
+	OutwardMaxTail int
+}
+
+// Save writes the trained pipeline in gob format.
+func (p *Pipeline) Save(w io.Writer) error {
+	g := pipelineGob{
+		SEDNet:   p.SED.Net,
+		SEDCfg:   p.SED.Cfg,
+		OCRModel: p.OCR.Templates,
+		LADCfg:   p.LADCfg,
+		OCRCfg:   p.OCRCfg,
+		SEICfg: seiConfigGob{
+			Expand:         p.SEICfg.Expand,
+			YTol:           p.SEICfg.YTol,
+			FullSpanFrac:   p.SEICfg.FullSpanFrac,
+			TopTol:         p.SEICfg.TopTol,
+			OutwardMaxTail: p.SEICfg.OutwardMaxTail,
+		},
+	}
+	if p.SEICfg.NameLexicon != nil {
+		g.NameLexicon = p.SEICfg.NameLexicon.Entries
+	}
+	if p.SEICfg.ValueLexicon != nil {
+		g.ValueLexicon = p.SEICfg.ValueLexicon.Entries
+	}
+	return gob.NewEncoder(w).Encode(g)
+}
+
+// Load reads a pipeline previously written by Save.
+func Load(r io.Reader) (*Pipeline, error) {
+	var g pipelineGob
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("core: load pipeline: %w", err)
+	}
+	if g.SEDNet == nil || len(g.OCRModel) == 0 {
+		return nil, fmt.Errorf("core: load pipeline: missing models")
+	}
+	seiCfg := sei.Config{
+		Expand:         g.SEICfg.Expand,
+		YTol:           g.SEICfg.YTol,
+		FullSpanFrac:   g.SEICfg.FullSpanFrac,
+		TopTol:         g.SEICfg.TopTol,
+		OutwardMaxTail: g.SEICfg.OutwardMaxTail,
+	}
+	if len(g.NameLexicon) > 0 {
+		seiCfg.NameLexicon = ocr.NewLexicon(g.NameLexicon)
+	}
+	if len(g.ValueLexicon) > 0 {
+		seiCfg.ValueLexicon = ocr.NewLexicon(g.ValueLexicon)
+	}
+	return &Pipeline{
+		SED:    &sed.Model{Net: g.SEDNet, Cfg: g.SEDCfg},
+		OCR:    &ocr.Model{Templates: g.OCRModel},
+		LADCfg: g.LADCfg,
+		OCRCfg: g.OCRCfg,
+		SEICfg: seiCfg,
+	}, nil
+}
+
+// SaveFile writes the pipeline to a file path.
+func (p *Pipeline) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Save(f)
+}
+
+// LoadFile reads a pipeline from a file path.
+func LoadFile(path string) (*Pipeline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,230 @@
+// Package detect provides object-detection evaluation: greedy IoU matching,
+// per-class precision/recall, average precision, and the mAP@.5 /
+// mAP@.5:.95 metrics the paper reports in Tables I and II.
+package detect
+
+import (
+	"sort"
+
+	"tdmagic/internal/geom"
+)
+
+// Detection is one predicted box with class and confidence.
+type Detection struct {
+	Box   geom.Rect
+	Class int
+	Score float64
+	// Image distinguishes detections from different pictures when scoring
+	// a whole dataset at once.
+	Image int
+}
+
+// GroundTruth is one labelled box.
+type GroundTruth struct {
+	Box   geom.Rect
+	Class int
+	Image int
+}
+
+// MatchResult is the outcome of matching detections against ground truth at
+// one IoU threshold.
+type MatchResult struct {
+	TP, FP, FN int
+	// Matched[i] is the index of the ground-truth box detection i matched,
+	// or -1.
+	Matched []int
+}
+
+// Match greedily assigns detections (highest score first) to unmatched
+// ground-truth boxes of the same class and image with IoU >= iouThr.
+func Match(dets []Detection, gts []GroundTruth, iouThr float64) MatchResult {
+	order := make([]int, len(dets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dets[order[a]].Score > dets[order[b]].Score })
+	used := make([]bool, len(gts))
+	res := MatchResult{Matched: make([]int, len(dets))}
+	for i := range res.Matched {
+		res.Matched[i] = -1
+	}
+	for _, di := range order {
+		d := dets[di]
+		best, bestIoU := -1, iouThr
+		for gi, g := range gts {
+			if used[gi] || g.Class != d.Class || g.Image != d.Image {
+				continue
+			}
+			if iou := d.Box.IoU(g.Box); iou >= bestIoU {
+				best, bestIoU = gi, iou
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			res.Matched[di] = best
+			res.TP++
+		} else {
+			res.FP++
+		}
+	}
+	res.FN = len(gts) - res.TP
+	return res
+}
+
+// PR returns precision and recall of a match result. An empty prediction
+// set has precision 1 by convention; an empty ground truth has recall 1.
+func (m MatchResult) PR() (precision, recall float64) {
+	if m.TP+m.FP == 0 {
+		precision = 1
+	} else {
+		precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN == 0 {
+		recall = 1
+	} else {
+		recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	return precision, recall
+}
+
+// filterClass returns the subset of detections / ground truths of one class.
+func filterClass(dets []Detection, gts []GroundTruth, class int) ([]Detection, []GroundTruth) {
+	var d []Detection
+	var g []GroundTruth
+	for _, x := range dets {
+		if x.Class == class {
+			d = append(d, x)
+		}
+	}
+	for _, x := range gts {
+		if x.Class == class {
+			g = append(g, x)
+		}
+	}
+	return d, g
+}
+
+// AP computes the average precision of one class at one IoU threshold using
+// all-point interpolation (area under the precision-recall curve), the
+// convention of COCO-style mAP.
+func AP(dets []Detection, gts []GroundTruth, class int, iouThr float64) float64 {
+	d, g := filterClass(dets, gts, class)
+	if len(g) == 0 {
+		return 1 // nothing to find: perfect by convention
+	}
+	if len(d) == 0 {
+		return 0
+	}
+	sort.Slice(d, func(a, b int) bool { return d[a].Score > d[b].Score })
+	used := make([]bool, len(g))
+	tp := make([]bool, len(d))
+	for i, det := range d {
+		best, bestIoU := -1, iouThr
+		for gi, gt := range g {
+			if used[gi] || gt.Image != det.Image {
+				continue
+			}
+			if iou := det.Box.IoU(gt.Box); iou >= bestIoU {
+				best, bestIoU = gi, iou
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			tp[i] = true
+		}
+	}
+	// Precision-recall curve, then area with precision envelope.
+	var curTP, curFP int
+	recalls := make([]float64, len(d))
+	precisions := make([]float64, len(d))
+	for i := range d {
+		if tp[i] {
+			curTP++
+		} else {
+			curFP++
+		}
+		recalls[i] = float64(curTP) / float64(len(g))
+		precisions[i] = float64(curTP) / float64(curTP+curFP)
+	}
+	// Monotone precision envelope from the right.
+	for i := len(precisions) - 2; i >= 0; i-- {
+		if precisions[i+1] > precisions[i] {
+			precisions[i] = precisions[i+1]
+		}
+	}
+	ap := 0.0
+	prevR := 0.0
+	for i := range d {
+		if recalls[i] > prevR {
+			ap += (recalls[i] - prevR) * precisions[i]
+			prevR = recalls[i]
+		}
+	}
+	return ap
+}
+
+// MAP returns the mean AP over the given classes at one IoU threshold.
+func MAP(dets []Detection, gts []GroundTruth, classes []int, iouThr float64) float64 {
+	if len(classes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range classes {
+		sum += AP(dets, gts, c, iouThr)
+	}
+	return sum / float64(len(classes))
+}
+
+// MAP5095 returns the COCO-style mean AP averaged over IoU thresholds
+// 0.5:0.05:0.95.
+func MAP5095(dets []Detection, gts []GroundTruth, classes []int) float64 {
+	sum, n := 0.0, 0
+	for thr := 0.5; thr < 0.951; thr += 0.05 {
+		sum += MAP(dets, gts, classes, thr)
+		n++
+	}
+	return sum / float64(n)
+}
+
+// ClassReport is one row of a Table I / Table II style report.
+type ClassReport struct {
+	Class   int
+	Labels  int // number of ground-truth boxes
+	P, R    float64
+	MAP50   float64
+	MAP5095 float64
+}
+
+// Report computes per-class and aggregate rows (class -1) at the standard
+// 0.5 IoU operating point, in the format of the paper's Table I.
+func Report(dets []Detection, gts []GroundTruth, classes []int) []ClassReport {
+	var rows []ClassReport
+	// Aggregate row first ("all").
+	all := Match(dets, gts, 0.5)
+	p, r := all.PR()
+	rows = append(rows, ClassReport{
+		Class: -1, Labels: len(gts), P: p, R: r,
+		MAP50:   MAP(dets, gts, classes, 0.5),
+		MAP5095: MAP5095(dets, gts, classes),
+	})
+	for _, c := range classes {
+		d, g := filterClass(dets, gts, c)
+		m := Match(d, g, 0.5)
+		p, r := m.PR()
+		rows = append(rows, ClassReport{
+			Class: c, Labels: len(g), P: p, R: r,
+			MAP50:   AP(dets, gts, c, 0.5),
+			MAP5095: ap5095(dets, gts, c),
+		})
+	}
+	return rows
+}
+
+func ap5095(dets []Detection, gts []GroundTruth, class int) float64 {
+	sum, n := 0.0, 0
+	for thr := 0.5; thr < 0.951; thr += 0.05 {
+		sum += AP(dets, gts, class, thr)
+		n++
+	}
+	return sum / float64(n)
+}

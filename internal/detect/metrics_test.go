@@ -1,0 +1,200 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"tdmagic/internal/geom"
+)
+
+func box(x, y, w, h int) geom.Rect { return geom.Rect{X0: x, Y0: y, X1: x + w - 1, Y1: y + h - 1} }
+
+func TestMatchPerfect(t *testing.T) {
+	gts := []GroundTruth{
+		{Box: box(0, 0, 10, 10), Class: 0},
+		{Box: box(50, 50, 10, 10), Class: 1},
+	}
+	dets := []Detection{
+		{Box: box(0, 0, 10, 10), Class: 0, Score: 0.9},
+		{Box: box(50, 50, 10, 10), Class: 1, Score: 0.8},
+	}
+	m := Match(dets, gts, 0.5)
+	if m.TP != 2 || m.FP != 0 || m.FN != 0 {
+		t.Errorf("match = %+v", m)
+	}
+	p, r := m.PR()
+	if p != 1 || r != 1 {
+		t.Errorf("P/R = %v/%v", p, r)
+	}
+}
+
+func TestMatchClassMismatch(t *testing.T) {
+	gts := []GroundTruth{{Box: box(0, 0, 10, 10), Class: 0}}
+	dets := []Detection{{Box: box(0, 0, 10, 10), Class: 1, Score: 0.9}}
+	m := Match(dets, gts, 0.5)
+	if m.TP != 0 || m.FP != 1 || m.FN != 1 {
+		t.Errorf("match = %+v", m)
+	}
+}
+
+func TestMatchImageSeparation(t *testing.T) {
+	gts := []GroundTruth{{Box: box(0, 0, 10, 10), Class: 0, Image: 0}}
+	dets := []Detection{{Box: box(0, 0, 10, 10), Class: 0, Score: 0.9, Image: 1}}
+	m := Match(dets, gts, 0.5)
+	if m.TP != 0 {
+		t.Error("cross-image match happened")
+	}
+}
+
+func TestMatchGreedyPrefersHighScore(t *testing.T) {
+	gts := []GroundTruth{{Box: box(0, 0, 10, 10), Class: 0}}
+	dets := []Detection{
+		{Box: box(1, 1, 10, 10), Class: 0, Score: 0.5},
+		{Box: box(0, 0, 10, 10), Class: 0, Score: 0.9},
+	}
+	m := Match(dets, gts, 0.5)
+	if m.TP != 1 || m.FP != 1 {
+		t.Errorf("match = %+v", m)
+	}
+	if m.Matched[1] != 0 || m.Matched[0] != -1 {
+		t.Errorf("high-score detection should win: %v", m.Matched)
+	}
+}
+
+func TestMatchIoUThreshold(t *testing.T) {
+	gts := []GroundTruth{{Box: box(0, 0, 10, 10), Class: 0}}
+	dets := []Detection{{Box: box(5, 0, 10, 10), Class: 0, Score: 0.9}} // IoU = 1/3
+	if m := Match(dets, gts, 0.5); m.TP != 0 {
+		t.Error("low-IoU match accepted at 0.5")
+	}
+	if m := Match(dets, gts, 0.3); m.TP != 1 {
+		t.Error("match rejected at 0.3")
+	}
+}
+
+func TestPRConventions(t *testing.T) {
+	p, r := (MatchResult{}).PR()
+	if p != 1 || r != 1 {
+		t.Errorf("empty P/R = %v/%v, want 1/1", p, r)
+	}
+	p, r = (MatchResult{FP: 3}).PR()
+	if p != 0 || r != 1 {
+		t.Errorf("FP-only P/R = %v/%v", p, r)
+	}
+	p, r = (MatchResult{FN: 2}).PR()
+	if p != 1 || r != 0 {
+		t.Errorf("FN-only P/R = %v/%v", p, r)
+	}
+}
+
+func TestAPPerfect(t *testing.T) {
+	gts := []GroundTruth{
+		{Box: box(0, 0, 10, 10), Class: 0},
+		{Box: box(30, 0, 10, 10), Class: 0},
+	}
+	dets := []Detection{
+		{Box: box(0, 0, 10, 10), Class: 0, Score: 0.9},
+		{Box: box(30, 0, 10, 10), Class: 0, Score: 0.8},
+	}
+	if ap := AP(dets, gts, 0, 0.5); ap != 1 {
+		t.Errorf("AP = %v, want 1", ap)
+	}
+}
+
+func TestAPHalf(t *testing.T) {
+	gts := []GroundTruth{
+		{Box: box(0, 0, 10, 10), Class: 0},
+		{Box: box(30, 0, 10, 10), Class: 0},
+	}
+	// One correct detection, one miss: AP = recall 0.5 at precision 1.
+	dets := []Detection{{Box: box(0, 0, 10, 10), Class: 0, Score: 0.9}}
+	if ap := AP(dets, gts, 0, 0.5); math.Abs(ap-0.5) > 1e-9 {
+		t.Errorf("AP = %v, want 0.5", ap)
+	}
+}
+
+func TestAPFalsePositiveFirst(t *testing.T) {
+	gts := []GroundTruth{{Box: box(0, 0, 10, 10), Class: 0}}
+	dets := []Detection{
+		{Box: box(100, 100, 10, 10), Class: 0, Score: 0.95}, // FP ranked first
+		{Box: box(0, 0, 10, 10), Class: 0, Score: 0.90},     // TP second
+	}
+	// Precision at the TP is 1/2, recall 1. AP = 0.5.
+	if ap := AP(dets, gts, 0, 0.5); math.Abs(ap-0.5) > 1e-9 {
+		t.Errorf("AP = %v, want 0.5", ap)
+	}
+}
+
+func TestAPConventions(t *testing.T) {
+	if ap := AP(nil, nil, 0, 0.5); ap != 1 {
+		t.Errorf("no-GT AP = %v, want 1", ap)
+	}
+	gts := []GroundTruth{{Box: box(0, 0, 10, 10), Class: 0}}
+	if ap := AP(nil, gts, 0, 0.5); ap != 0 {
+		t.Errorf("no-detection AP = %v, want 0", ap)
+	}
+}
+
+func TestMAPAndMAP5095(t *testing.T) {
+	gts := []GroundTruth{
+		{Box: box(0, 0, 20, 20), Class: 0},
+		{Box: box(50, 50, 20, 20), Class: 1},
+	}
+	dets := []Detection{
+		{Box: box(0, 0, 20, 20), Class: 0, Score: 0.9},   // exact
+		{Box: box(52, 50, 20, 20), Class: 1, Score: 0.9}, // IoU ~0.82
+	}
+	m50 := MAP(dets, gts, []int{0, 1}, 0.5)
+	if m50 != 1 {
+		t.Errorf("mAP@.5 = %v, want 1", m50)
+	}
+	m5095 := MAP5095(dets, gts, []int{0, 1})
+	// Class 0 perfect at all IoUs (1.0); class 1 fails above ~0.8:
+	// average must sit strictly between 0.5 and 1.
+	if m5095 <= 0.5 || m5095 >= 1 {
+		t.Errorf("mAP@.5:.95 = %v, want in (0.5, 1)", m5095)
+	}
+	if MAP(dets, gts, nil, 0.5) != 0 {
+		t.Error("empty class list mAP should be 0")
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	gts := []GroundTruth{
+		{Box: box(0, 0, 10, 10), Class: 0},
+		{Box: box(30, 0, 10, 10), Class: 1},
+		{Box: box(60, 0, 10, 10), Class: 1},
+	}
+	dets := []Detection{
+		{Box: box(0, 0, 10, 10), Class: 0, Score: 0.9},
+		{Box: box(30, 0, 10, 10), Class: 1, Score: 0.9},
+	}
+	rows := Report(dets, gts, []int{0, 1})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Class != -1 || rows[0].Labels != 3 {
+		t.Errorf("aggregate row = %+v", rows[0])
+	}
+	if rows[1].Labels != 1 || rows[2].Labels != 2 {
+		t.Errorf("per-class labels: %+v", rows)
+	}
+	if rows[0].P != 1 {
+		t.Errorf("aggregate P = %v", rows[0].P)
+	}
+	if got := rows[0].R; math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("aggregate R = %v", got)
+	}
+	if rows[2].MAP50 != 0.5 {
+		t.Errorf("class-1 AP = %v", rows[2].MAP50)
+	}
+}
+
+func TestMAP5095MonotoneInLocalization(t *testing.T) {
+	gts := []GroundTruth{{Box: box(0, 0, 20, 20), Class: 0}}
+	exact := []Detection{{Box: box(0, 0, 20, 20), Class: 0, Score: 0.9}}
+	loose := []Detection{{Box: box(4, 4, 20, 20), Class: 0, Score: 0.9}}
+	if MAP5095(exact, gts, []int{0}) <= MAP5095(loose, gts, []int{0}) {
+		t.Error("better localisation should yield higher mAP@.5:.95")
+	}
+}

@@ -1,0 +1,619 @@
+// Package diagram defines the abstract timing-diagram model shared by the
+// synthetic generator (L-TD-G, internal/tdgen) and the industrial-style
+// corpus (internal/industrial), together with the renderer that turns a
+// model into a labelled dataset.Sample: a raster picture plus ground-truth
+// edge boxes, text boxes, annotation lines, arrows and the reference SPO.
+//
+// Coordinates in the model are abstract: signal-edge x positions are
+// fractions of the plot width, signal levels are fractions of the signal
+// band height (0 = bottom, 1 = top), and arrow rows are fractions of the
+// annotation band below the signals (0 = top of the band).
+package diagram
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/geom"
+	"tdmagic/internal/render"
+	"tdmagic/internal/spo"
+)
+
+// SignalKind classifies a waveform (paper Sec. III): digital (step edges),
+// analog with ramp edges, or analog with double-ramp (bus-style) edges.
+type SignalKind int
+
+// Signal kinds.
+const (
+	Digital SignalKind = iota
+	Ramp
+	DoubleRamp
+)
+
+// String returns the kind name.
+func (k SignalKind) String() string {
+	switch k {
+	case Digital:
+		return "digital"
+	case Ramp:
+		return "ramp"
+	case DoubleRamp:
+		return "double"
+	default:
+		return fmt.Sprintf("SignalKind(%d)", int(k))
+	}
+}
+
+// Edge is one signal transition.
+type Edge struct {
+	Type spo.EdgeType
+	// X0 and X1 bound the transition horizontally (fractions of plot
+	// width). Step edges are drawn at the centre of [X0, X1].
+	X0, X1 float64
+	// YLow and YHigh are the band-relative levels the transition moves
+	// between.
+	YLow, YHigh float64
+	// Threshold is the event crossing level as a fraction from the bottom
+	// of the edge (e.g. 0.9 for "90%"). Used by ramp and double edges.
+	Threshold float64
+	// ThresholdText is the printed threshold annotation ("90%"); empty
+	// suppresses the text.
+	ThresholdText string
+	// HasEvent marks the edge as carrying an event (vertical annotation
+	// line). Edges referenced by arrows must have it set.
+	HasEvent bool
+	// Thick draws the edge with the style's thick stroke — the paper's
+	// Example 3 corner case where step edges are nearly as thick as
+	// annotation lines.
+	Thick bool
+	// ExtraThresholds draws additional decorative threshold lines (the
+	// dense-threshold corner case of paper Fig. 7); each entry is a
+	// level fraction with its printed text.
+	ExtraThresholds []ThresholdMark
+}
+
+// ThresholdMark is a decorative threshold annotation without an event.
+type ThresholdMark struct {
+	Level float64
+	Text  string
+}
+
+// Signal is one waveform with its transitions, ordered left to right.
+type Signal struct {
+	Name      string // rich-markup name, e.g. "V_{INA}"
+	Kind      SignalKind
+	Edges     []Edge
+	BoundHigh string // optional boundary-value text at the high level
+	BoundLow  string // optional boundary-value text at the low level
+}
+
+// EventRef identifies an event by signal index and edge index (0-based).
+type EventRef struct {
+	Signal, Edge int
+}
+
+// Arrow is a timing-constraint annotation between two events.
+type Arrow struct {
+	From, To EventRef
+	Label    string  // rich-markup timing parameter, e.g. "t_{D(on)}"
+	Y        float64 // row within the annotation band (0 = top, 1 = bottom)
+	// Outward draws the tails-outside style used for narrow spans
+	// (paper Fig. 7's "6ns" annotation).
+	Outward bool
+}
+
+// Style controls rendering.
+type Style struct {
+	Width, Height int
+	LeftMargin    int // room for signal names
+	RightMargin   int // room for boundary values
+	TopMargin     int
+	BottomMargin  int
+	AnnotFrac     float64 // fraction of content height for the arrow band
+	BandGap       int     // vertical gap between signal bands
+	BandPad       int     // padding inside a band above/below the waveform
+	Stroke        int     // waveform stroke width
+	ThickStroke   int     // stroke for Edge.Thick
+	LineStroke    int     // annotation-line stroke width
+	ArrowStroke   int
+	TextScale     int
+	DashOn        int // dash pattern of annotation lines
+	DashOff       int
+	SolidVLines   bool // draw event lines solid instead of dashed
+	ShowAxes      bool
+	NoiseDots     int   // random ink specks (scanning artefacts)
+	NoiseSeed     int64 // seed for the specks
+}
+
+// DefaultStyle returns the style used for the synthetic training set.
+func DefaultStyle() Style {
+	return Style{
+		Width: 900, Height: 540,
+		LeftMargin: 110, RightMargin: 70, TopMargin: 18, BottomMargin: 14,
+		AnnotFrac: 0.30, BandGap: 10, BandPad: 14,
+		Stroke: 3, ThickStroke: 7, LineStroke: 1, ArrowStroke: 2,
+		TextScale: 2, DashOn: 4, DashOff: 4,
+	}
+}
+
+// Diagram is a complete abstract timing diagram.
+type Diagram struct {
+	Name    string
+	Signals []Signal
+	Arrows  []Arrow
+	Style   Style
+}
+
+// event is a resolved event during rendering.
+type event struct {
+	ref  EventRef
+	x, y int // pixel position of the threshold crossing
+}
+
+// layout captures the pixel geometry of a render.
+type layout struct {
+	style    Style
+	plotX0   int
+	plotX1   int
+	bandTop  []int
+	bandBot  []int
+	annotTop int
+	annotBot int
+}
+
+func newLayout(d *Diagram) (*layout, error) {
+	st := d.Style
+	if st.Width <= 0 || st.Height <= 0 {
+		return nil, fmt.Errorf("diagram: bad canvas size %dx%d", st.Width, st.Height)
+	}
+	if len(d.Signals) == 0 {
+		return nil, fmt.Errorf("diagram: no signals")
+	}
+	l := &layout{style: st}
+	l.plotX0 = st.LeftMargin
+	l.plotX1 = st.Width - st.RightMargin - 1
+	contentTop := st.TopMargin
+	contentBot := st.Height - st.BottomMargin - 1
+	contentH := contentBot - contentTop + 1
+	annotH := int(float64(contentH) * st.AnnotFrac)
+	l.annotBot = contentBot
+	l.annotTop = contentBot - annotH + 1
+	sigArea := contentH - annotH
+	n := len(d.Signals)
+	bandH := (sigArea - (n-1)*st.BandGap) / n
+	if bandH < 3*st.BandPad {
+		return nil, fmt.Errorf("diagram: %d signals do not fit in %d rows", n, sigArea)
+	}
+	for i := 0; i < n; i++ {
+		top := contentTop + i*(bandH+st.BandGap)
+		l.bandTop = append(l.bandTop, top)
+		l.bandBot = append(l.bandBot, top+bandH-1)
+	}
+	return l, nil
+}
+
+// px maps an abstract x fraction to a pixel column.
+func (l *layout) px(fx float64) int {
+	return l.plotX0 + int(fx*float64(l.plotX1-l.plotX0)+0.5)
+}
+
+// py maps a band-relative level (0 bottom, 1 top) to a pixel row.
+func (l *layout) py(band int, level float64) int {
+	top := l.bandTop[band] + l.style.BandPad
+	bot := l.bandBot[band] - l.style.BandPad
+	return bot - int(level*float64(bot-top)+0.5)
+}
+
+// ay maps an annotation-band fraction (0 top, 1 bottom) to a pixel row.
+func (l *layout) ay(f float64) int {
+	pad := 4
+	top := l.annotTop + pad
+	bot := l.annotBot - pad
+	return top + int(f*float64(bot-top)+0.5)
+}
+
+// Validate checks structural consistency of the diagram: edges ordered and
+// inside [0,1], arrow references resolvable and event-carrying.
+func (d *Diagram) Validate() error {
+	for si, s := range d.Signals {
+		prev := -1.0
+		for ei, e := range s.Edges {
+			if e.X0 < 0 || e.X1 > 1 || e.X0 >= e.X1 {
+				return fmt.Errorf("diagram: signal %d edge %d: bad x extent [%v,%v]", si, ei, e.X0, e.X1)
+			}
+			if e.X0 < prev {
+				return fmt.Errorf("diagram: signal %d edge %d overlaps previous", si, ei)
+			}
+			prev = e.X1
+			if e.YLow >= e.YHigh {
+				return fmt.Errorf("diagram: signal %d edge %d: YLow %v >= YHigh %v", si, ei, e.YLow, e.YHigh)
+			}
+		}
+	}
+	for ai, a := range d.Arrows {
+		for _, r := range []EventRef{a.From, a.To} {
+			if r.Signal < 0 || r.Signal >= len(d.Signals) {
+				return fmt.Errorf("diagram: arrow %d references signal %d", ai, r.Signal)
+			}
+			if r.Edge < 0 || r.Edge >= len(d.Signals[r.Signal].Edges) {
+				return fmt.Errorf("diagram: arrow %d references edge %d of signal %d", ai, r.Edge, r.Signal)
+			}
+			if !d.Signals[r.Signal].Edges[r.Edge].HasEvent {
+				return fmt.Errorf("diagram: arrow %d references event-less edge %v", ai, r)
+			}
+		}
+	}
+	return nil
+}
+
+// eventPoint computes the pixel position of the event of edge (si, ei).
+func (l *layout) eventPoint(d *Diagram, si, ei int) (x, y int) {
+	e := d.Signals[si].Edges[ei]
+	yLo := l.py(si, e.YLow)
+	yHi := l.py(si, e.YHigh)
+	switch e.Type {
+	case spo.RiseStep, spo.FallStep:
+		xc := l.px((e.X0 + e.X1) / 2)
+		return xc, (yLo + yHi) / 2
+	case spo.RiseRamp:
+		t := e.Threshold
+		x = l.px(e.X0 + t*(e.X1-e.X0))
+		y = yLo - int(t*float64(yLo-yHi)+0.5)
+		return x, y
+	case spo.FallRamp:
+		t := e.Threshold
+		x = l.px(e.X0 + (1-t)*(e.X1-e.X0))
+		y = yLo - int(t*float64(yLo-yHi)+0.5)
+		return x, y
+	default: // Double: crossing point at the centre
+		xc := l.px((e.X0 + e.X1) / 2)
+		return xc, (yLo + yHi) / 2
+	}
+}
+
+// Render rasterises the diagram and returns the labelled sample.
+func (d *Diagram) Render() (*dataset.Sample, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	l, err := newLayout(d)
+	if err != nil {
+		return nil, err
+	}
+	st := d.Style
+	c := render.NewCanvas(st.Width, st.Height)
+	out := &dataset.Sample{Name: d.Name}
+
+	// 1. Waveforms, collecting ground-truth edge boxes.
+	for si := range d.Signals {
+		d.renderSignal(c, l, si, out)
+	}
+
+	// 2. Resolve events referenced by arrows.
+	needed := map[EventRef]bool{}
+	for _, a := range d.Arrows {
+		needed[a.From] = true
+		needed[a.To] = true
+	}
+	events := map[EventRef]event{}
+	for ref := range needed {
+		x, y := l.eventPoint(d, ref.Signal, ref.Edge)
+		events[ref] = event{ref: ref, x: x, y: y}
+	}
+
+	// 3. Arrow rows and vertical-line extents. Each event's line runs from
+	// its crossing point down past the lowest arrow that uses it.
+	arrowY := make([]int, len(d.Arrows))
+	lineBot := map[EventRef]int{}
+	for i, a := range d.Arrows {
+		arrowY[i] = l.ay(a.Y)
+		for _, r := range []EventRef{a.From, a.To} {
+			if yb := arrowY[i] + 8; yb > lineBot[r] {
+				lineBot[r] = yb
+			}
+		}
+	}
+
+	// 4. Threshold lines (H-lines) and event lines (V-lines).
+	for si := range d.Signals {
+		for ei := range d.Signals[si].Edges {
+			d.renderThresholds(c, l, si, ei, out)
+		}
+	}
+	refs := make([]EventRef, 0, len(events))
+	for r := range events {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if events[refs[i]].x != events[refs[j]].x {
+			return events[refs[i]].x < events[refs[j]].x
+		}
+		return refs[i].Signal < refs[j].Signal
+	})
+	for _, r := range refs {
+		ev := events[r]
+		bot := lineBot[r]
+		if bot <= ev.y {
+			bot = ev.y + 20
+		}
+		if bot > st.Height-2 {
+			bot = st.Height - 2
+		}
+		if st.SolidVLines {
+			c.Line(geom.Pt{X: ev.x, Y: ev.y}, geom.Pt{X: ev.x, Y: bot}, st.LineStroke)
+		} else {
+			c.DashedLine(geom.Pt{X: ev.x, Y: ev.y}, geom.Pt{X: ev.x, Y: bot}, st.LineStroke, st.DashOn, st.DashOff)
+		}
+		out.VLines = append(out.VLines, geom.VSeg{X: ev.x, Y0: ev.y, Y1: bot})
+	}
+
+	// 5. Arrows with labels.
+	for i, a := range d.Arrows {
+		x0, x1 := events[a.From].x, events[a.To].x
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		y := arrowY[i]
+		if a.Outward {
+			c.HArrowOutward(y, x0, x1, 30, st.ArrowStroke)
+		} else {
+			c.HArrow(y, x0, x1, st.ArrowStroke)
+		}
+		out.Arrows = append(out.Arrows, dataset.Arrow{Y: y, X0: x0, X1: x1, Label: a.Label})
+		if a.Label != "" {
+			_, th := c.MeasureText(a.Label, st.TextScale)
+			box := c.TextCentered((x0+x1)/2, y-th-3, a.Label, st.TextScale)
+			out.Texts = append(out.Texts, dataset.TextBox{Box: box, Text: a.Label, Role: dataset.RoleTimeConstraint})
+		}
+	}
+
+	// 6. Signal names and boundary values.
+	for si, s := range d.Signals {
+		if s.Name != "" {
+			_, th := c.MeasureText(s.Name, st.TextScale)
+			yc := (l.bandTop[si] + l.bandBot[si]) / 2
+			box := c.Text(6, yc-th/2, s.Name, st.TextScale)
+			out.Texts = append(out.Texts, dataset.TextBox{Box: box, Text: s.Name, Role: dataset.RoleSignalName})
+		}
+		bx := l.plotX1 + 6
+		if s.BoundHigh != "" {
+			y := l.py(si, signalTopLevel(&d.Signals[si]))
+			box := c.Text(bx, y-3, s.BoundHigh, st.TextScale)
+			out.Texts = append(out.Texts, dataset.TextBox{Box: box, Text: s.BoundHigh, Role: dataset.RoleSignalValue})
+		}
+		if s.BoundLow != "" {
+			y := l.py(si, signalBotLevel(&d.Signals[si]))
+			box := c.Text(bx, y-3, s.BoundLow, st.TextScale)
+			out.Texts = append(out.Texts, dataset.TextBox{Box: box, Text: s.BoundLow, Role: dataset.RoleSignalValue})
+		}
+	}
+
+	// 7. Optional axes.
+	if st.ShowAxes {
+		ax := l.plotX0 - 8
+		c.VArrow(ax, l.annotTop-4, st.TopMargin, st.LineStroke)
+		c.Line(geom.Pt{X: ax, Y: l.annotTop - 4}, geom.Pt{X: l.plotX1, Y: l.annotTop - 4}, st.LineStroke)
+		c.ArrowHead(geom.Pt{X: l.plotX1, Y: l.annotTop - 4}, 1, 0, 4, st.LineStroke)
+	}
+
+	// 8. Scanner noise.
+	if st.NoiseDots > 0 {
+		rng := rand.New(rand.NewSource(st.NoiseSeed))
+		for i := 0; i < st.NoiseDots; i++ {
+			c.SetPixel(rng.Intn(st.Width), rng.Intn(st.Height))
+		}
+	}
+
+	out.Image = c.Gray()
+
+	// 9. Ground-truth SPO: events in global left-to-right order.
+	truth := &spo.SPO{}
+	nodeIdx := map[EventRef]int{}
+	for _, r := range refs {
+		e := d.Signals[r.Signal].Edges[r.Edge]
+		th := spo.NoThreshold
+		if !e.Type.IsStep() && e.ThresholdText != "" {
+			th = e.ThresholdText
+		}
+		nodeIdx[r] = truth.AddNode(spo.Node{
+			Signal:    d.Signals[r.Signal].Name,
+			EdgeIndex: r.Edge + 1,
+			Type:      e.Type,
+			Threshold: th,
+		})
+	}
+	for _, a := range d.Arrows {
+		if err := truth.AddConstraint(nodeIdx[a.From], nodeIdx[a.To], a.Label); err != nil {
+			return nil, err
+		}
+	}
+	out.Truth = truth
+	return out, nil
+}
+
+// signalTopLevel returns the highest level any edge of s reaches.
+func signalTopLevel(s *Signal) float64 {
+	top := 0.0
+	for _, e := range s.Edges {
+		if e.YHigh > top {
+			top = e.YHigh
+		}
+	}
+	return top
+}
+
+// signalBotLevel returns the lowest level any edge of s reaches.
+func signalBotLevel(s *Signal) float64 {
+	if len(s.Edges) == 0 {
+		return 0
+	}
+	bot := 1.0
+	for _, e := range s.Edges {
+		if e.YLow < bot {
+			bot = e.YLow
+		}
+	}
+	return bot
+}
+
+// renderSignal draws the waveform of signal si and records edge boxes.
+func (d *Diagram) renderSignal(c *render.Canvas, l *layout, si int, out *dataset.Sample) {
+	s := &d.Signals[si]
+	st := d.Style
+	if s.Kind == DoubleRamp {
+		d.renderBusSignal(c, l, si, out)
+		return
+	}
+	if len(s.Edges) == 0 {
+		return
+	}
+	stroke := st.Stroke
+	// Start plateau at the first edge's start level.
+	cur := startLevel(s.Edges[0])
+	curX := l.plotX0
+	for ei := range s.Edges {
+		e := &s.Edges[ei]
+		str := stroke
+		if e.Thick {
+			str = st.ThickStroke
+		}
+		yLo := l.py(si, e.YLow)
+		yHi := l.py(si, e.YHigh)
+		switch e.Type {
+		case spo.RiseStep, spo.FallStep:
+			xc := l.px((e.X0 + e.X1) / 2)
+			c.Line(geom.Pt{X: curX, Y: l.py(si, cur)}, geom.Pt{X: xc, Y: l.py(si, cur)}, stroke)
+			c.Line(geom.Pt{X: xc, Y: yLo}, geom.Pt{X: xc, Y: yHi}, str)
+			pad := str/2 + 1
+			out.Edges = append(out.Edges, dataset.EdgeBox{
+				Box:    geom.Rect{X0: xc - pad, Y0: yHi - 1, X1: xc + pad, Y1: yLo + 1},
+				Type:   e.Type,
+				Signal: si,
+			})
+			curX = xc
+		case spo.RiseRamp:
+			x0, x1 := l.px(e.X0), l.px(e.X1)
+			c.Line(geom.Pt{X: curX, Y: l.py(si, cur)}, geom.Pt{X: x0, Y: l.py(si, cur)}, stroke)
+			c.Line(geom.Pt{X: x0, Y: yLo}, geom.Pt{X: x1, Y: yHi}, str)
+			out.Edges = append(out.Edges, dataset.EdgeBox{
+				Box:    geom.Rect{X0: x0 - 1, Y0: yHi - 1, X1: x1 + 1, Y1: yLo + 1},
+				Type:   e.Type,
+				Signal: si,
+			})
+			curX = x1
+		case spo.FallRamp:
+			x0, x1 := l.px(e.X0), l.px(e.X1)
+			c.Line(geom.Pt{X: curX, Y: l.py(si, cur)}, geom.Pt{X: x0, Y: l.py(si, cur)}, stroke)
+			c.Line(geom.Pt{X: x0, Y: yHi}, geom.Pt{X: x1, Y: yLo}, str)
+			out.Edges = append(out.Edges, dataset.EdgeBox{
+				Box:    geom.Rect{X0: x0 - 1, Y0: yHi - 1, X1: x1 + 1, Y1: yLo + 1},
+				Type:   e.Type,
+				Signal: si,
+			})
+			curX = x1
+		}
+		cur = endLevel(*e)
+	}
+	// Trailing plateau.
+	c.Line(geom.Pt{X: curX, Y: l.py(si, cur)}, geom.Pt{X: l.plotX1, Y: l.py(si, cur)}, stroke)
+}
+
+// renderBusSignal draws a two-rail bus waveform with X-shaped double edges.
+func (d *Diagram) renderBusSignal(c *render.Canvas, l *layout, si int, out *dataset.Sample) {
+	s := &d.Signals[si]
+	st := d.Style
+	stroke := st.Stroke
+	if len(s.Edges) == 0 {
+		return
+	}
+	curX := l.plotX0
+	for ei := range s.Edges {
+		e := &s.Edges[ei]
+		x0, x1 := l.px(e.X0), l.px(e.X1)
+		yLo := l.py(si, e.YLow)
+		yHi := l.py(si, e.YHigh)
+		// Rails up to the transition.
+		c.Line(geom.Pt{X: curX, Y: yHi}, geom.Pt{X: x0, Y: yHi}, stroke)
+		c.Line(geom.Pt{X: curX, Y: yLo}, geom.Pt{X: x0, Y: yLo}, stroke)
+		// X crossing.
+		str := stroke
+		if e.Thick {
+			str = st.ThickStroke
+		}
+		c.Line(geom.Pt{X: x0, Y: yHi}, geom.Pt{X: x1, Y: yLo}, str)
+		c.Line(geom.Pt{X: x0, Y: yLo}, geom.Pt{X: x1, Y: yHi}, str)
+		out.Edges = append(out.Edges, dataset.EdgeBox{
+			Box:    geom.Rect{X0: x0 - 1, Y0: yHi - 1, X1: x1 + 1, Y1: yLo + 1},
+			Type:   spo.Double,
+			Signal: si,
+		})
+		curX = x1
+	}
+	last := s.Edges[len(s.Edges)-1]
+	yHi := l.py(si, last.YHigh)
+	yLo := l.py(si, last.YLow)
+	c.Line(geom.Pt{X: curX, Y: yHi}, geom.Pt{X: l.plotX1, Y: yHi}, stroke)
+	c.Line(geom.Pt{X: curX, Y: yLo}, geom.Pt{X: l.plotX1, Y: yLo}, stroke)
+}
+
+// renderThresholds draws the dashed threshold lines of edge (si, ei) with
+// their texts, recording H-line and text ground truth.
+func (d *Diagram) renderThresholds(c *render.Canvas, l *layout, si, ei int, out *dataset.Sample) {
+	s := &d.Signals[si]
+	e := &s.Edges[ei]
+	st := d.Style
+	// The event threshold label sits left of the line; decorative extra
+	// thresholds label on the right, so stacked annotations do not collide
+	// (datasheets stagger them the same way).
+	draw := func(level float64, text string, rightSide bool) {
+		y := l.py(si, e.YLow) - int(level*float64(l.py(si, e.YLow)-l.py(si, e.YHigh))+0.5)
+		x0 := l.px(e.X0) - 20
+		x1 := l.px(e.X1) + 20
+		c.DashedLine(geom.Pt{X: x0, Y: y}, geom.Pt{X: x1, Y: y}, st.LineStroke, st.DashOn, st.DashOff)
+		out.HLines = append(out.HLines, geom.HSeg{Y: y, X0: x0, X1: x1})
+		if text != "" {
+			scale := st.TextScale - 1
+			if scale < 1 {
+				scale = 1
+			}
+			w, th := c.MeasureText(text, scale)
+			// A left-side label that would run into the margin (over the
+			// y axis or the signal name) flips to the right side, as a
+			// datasheet designer would place it.
+			if !rightSide && x0-w-12 < st.LeftMargin-4 {
+				rightSide = true
+			}
+			var box geom.Rect
+			if rightSide {
+				box = c.Text(x1+10, y-th/2, text, scale)
+			} else {
+				box = c.Text(x0-w-12, y-th/2, text, scale)
+			}
+			out.Texts = append(out.Texts, dataset.TextBox{Box: box, Text: text, Role: dataset.RoleSignalValue})
+		}
+	}
+	if e.HasEvent && !e.Type.IsStep() && e.Threshold > 0 {
+		draw(e.Threshold, e.ThresholdText, false)
+	}
+	for _, m := range e.ExtraThresholds {
+		draw(m.Level, m.Text, true)
+	}
+}
+
+// startLevel is the band level a signal holds before an edge fires.
+func startLevel(e Edge) float64 {
+	if e.Type.IsRise() {
+		return e.YLow
+	}
+	return e.YHigh
+}
+
+// endLevel is the band level a signal holds after an edge fires.
+func endLevel(e Edge) float64 {
+	if e.Type.IsRise() {
+		return e.YHigh
+	}
+	return e.YLow
+}

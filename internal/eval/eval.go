@@ -1,0 +1,538 @@
+// Package eval implements the paper's experimental evaluation (Sec. VI):
+// training-set preparation, the synthetic-validation experiments (Table I
+// and the OCR validation), the extrapolation experiments on the industrial
+// corpus (Tables II and III), and the overall-performance measurement
+// (template-level / totally-correct SPO extraction). Each experiment
+// returns a typed result and can print itself in the paper's table format.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"tdmagic/internal/core"
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/detect"
+	"tdmagic/internal/geom"
+	"tdmagic/internal/imgproc"
+	"tdmagic/internal/industrial"
+	"tdmagic/internal/lad"
+	"tdmagic/internal/spo"
+	"tdmagic/internal/tdgen"
+)
+
+// Options configures an evaluation run. The paper trains on 8000/4000/3000
+// pictures; the defaults here scale that mix down (same 8:4:3 ratio) so a
+// full run finishes in seconds. Raising the counts approaches the paper's
+// regime.
+type Options struct {
+	Seed       int64
+	TrainG1    int
+	TrainG2    int
+	TrainG3    int
+	Validation int // held-out synthetic pictures for Table I / OCR val
+	CorpusSeed int64
+	// Lexicon enables the SEI signal-name dictionary.
+	Lexicon bool
+}
+
+// DefaultOptions returns the configuration used by cmd/tdeval and the
+// benchmarks.
+func DefaultOptions() Options {
+	return Options{
+		Seed:       1,
+		TrainG1:    64,
+		TrainG2:    32,
+		TrainG3:    24,
+		Validation: 40,
+		CorpusSeed: 1,
+		Lexicon:    true,
+	}
+}
+
+// nameLexicon is the "prepared database for common signal names" of the
+// paper, shared by the evaluation and the CLI.
+var nameLexicon = []string{
+	"V_{INA}", "V_{OUTA}", "V_{INB}", "V_{OUTB}", "SI", "SO", "SCK", "CLK",
+	"EN", "CS", "RST", "RESET", "V_{CC}", "V_{IO}", "DATA", "STCP", "SHCP",
+	"MR", "TXD", "RXD", "INH", "OUT", "IN", "Q_{7S}", "V_{BAT}", "WAKE",
+	"NRES", "D_{IN}", "D_{OUT}",
+}
+
+// NameLexicon returns a copy of the built-in signal-name dictionary.
+func NameLexicon() []string { return append([]string(nil), nameLexicon...) }
+
+// valueLexicon covers the common signal-value annotation styles (the
+// paper's "empirical study on the style of annotating signal values").
+var valueLexicon = []string{
+	"10%", "20%", "30%", "40%", "50%", "60%", "70%", "80%", "90%",
+	"1V", "2V", "5V", "GND", "V_{CC}",
+}
+
+// ValueLexicon returns a copy of the built-in signal-value dictionary.
+func ValueLexicon() []string { return append([]string(nil), valueLexicon...) }
+
+// GenTrainingSet produces the G1+G2+G3 synthetic mix.
+func GenTrainingSet(opts Options) ([]*dataset.Sample, error) {
+	var out []*dataset.Sample
+	for _, part := range []struct {
+		mode tdgen.Mode
+		n    int
+	}{{tdgen.G1, opts.TrainG1}, {tdgen.G2, opts.TrainG2}, {tdgen.G3, opts.TrainG3}} {
+		if part.n == 0 {
+			continue
+		}
+		g := tdgen.New(tdgen.DefaultConfig(part.mode), rand.New(rand.NewSource(opts.Seed+int64(part.mode))))
+		samples, err := g.GenerateN(part.n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, samples...)
+	}
+	return out, nil
+}
+
+// GenValidationSet produces held-out synthetic pictures (G1 mode, disjoint
+// seed stream).
+func GenValidationSet(opts Options) ([]*dataset.Sample, error) {
+	g := tdgen.New(tdgen.DefaultConfig(tdgen.G1), rand.New(rand.NewSource(opts.Seed+1000)))
+	return g.GenerateN(opts.Validation)
+}
+
+// TrainPipeline trains the full pipeline on the synthetic mix.
+func TrainPipeline(opts Options) (*core.Pipeline, error) {
+	train, err := GenTrainingSet(opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultTrainConfig()
+	if opts.Lexicon {
+		cfg.NameLexicon = nameLexicon
+		cfg.ValueLexicon = valueLexicon
+	}
+	return core.Train(rand.New(rand.NewSource(opts.Seed)), train, cfg)
+}
+
+// edgeClassNames maps detection class ids (= spo.EdgeType) to Table I row
+// names, in the paper's order.
+var edgeClassOrder = []spo.EdgeType{spo.RiseRamp, spo.FallRamp, spo.RiseStep, spo.FallStep, spo.Double}
+
+// TableIResult holds experiment E1.
+type TableIResult struct {
+	Rows []detect.ClassReport
+}
+
+// TableI runs the edge-detection validation experiment on synthetic data
+// (paper Table I).
+func TableI(pipe *core.Pipeline, val []*dataset.Sample) *TableIResult {
+	var dets []detect.Detection
+	var gts []detect.GroundTruth
+	for i, s := range val {
+		lines := lad.Detect(s.Image, pipe.LADCfg)
+		for _, d := range pipe.SED.Detect(s.Image, lines) {
+			dets = append(dets, detect.Detection{Box: d.Box, Class: int(d.Type), Score: d.Score, Image: i})
+		}
+		for _, g := range s.Edges {
+			gts = append(gts, detect.GroundTruth{Box: g.Box, Class: int(g.Type), Image: i})
+		}
+	}
+	classes := make([]int, len(edgeClassOrder))
+	for i, et := range edgeClassOrder {
+		classes[i] = int(et)
+	}
+	return &TableIResult{Rows: detect.Report(dets, gts, classes)}
+}
+
+// Print writes the result in the paper's Table I format.
+func (r *TableIResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "TABLE I: Validation Accuracy of Edge Detection.\n")
+	fmt.Fprintf(w, "%-10s %7s %8s %8s %8s %12s\n", "Class", "Labels", "P", "R", "mAP@.5", "mAP@.5:.95")
+	for _, row := range r.Rows {
+		name := "all"
+		if row.Class >= 0 {
+			name = spo.EdgeType(row.Class).String()
+		}
+		fmt.Fprintf(w, "%-10s %7d %8.4f %8.4f %8.3f %12.3f\n",
+			name, row.Labels, row.P, row.R, row.MAP50, row.MAP5095)
+	}
+}
+
+// OCRValResult holds experiment E2: OCR accuracy on held-out synthetic
+// pictures, split by text role.
+type OCRValResult struct {
+	Accuracy map[dataset.TextRole]float64
+	Counts   map[dataset.TextRole]int
+}
+
+// OCRSynthetic measures exact-string OCR accuracy on synthetic validation
+// pictures (the paper reports 1.0 for both PaddleOCR tasks).
+func OCRSynthetic(pipe *core.Pipeline, val []*dataset.Sample) *OCRValResult {
+	return ocrAccuracy(pipe, val)
+}
+
+// ocrAccuracy scores exact-match text recognition against ground truth.
+func ocrAccuracy(pipe *core.Pipeline, samples []*dataset.Sample) *OCRValResult {
+	correct := map[dataset.TextRole]int{}
+	total := map[dataset.TextRole]int{}
+	for _, s := range samples {
+		bw := imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))
+		lines := lad.DetectBinary(bw, pipe.LADCfg)
+		results := pipe.OCR.ReadAll(bw, lines, pipe.OCRCfg)
+		for _, gt := range s.Texts {
+			total[gt.Role]++
+			for _, r := range results {
+				if r.Box.IoU(gt.Box) >= 0.3 && r.Text == gt.Text {
+					correct[gt.Role]++
+					break
+				}
+			}
+		}
+	}
+	res := &OCRValResult{Accuracy: map[dataset.TextRole]float64{}, Counts: total}
+	for role, n := range total {
+		if n > 0 {
+			res.Accuracy[role] = float64(correct[role]) / float64(n)
+		}
+	}
+	return res
+}
+
+// Print writes the OCR result as a Table III style row set.
+func (r *OCRValResult) Print(w io.Writer, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-18s %8s %8s\n", "Metrics", "Count", "Accuracy")
+	roles := []dataset.TextRole{dataset.RoleSignalName, dataset.RoleSignalValue, dataset.RoleTimeConstraint}
+	for _, role := range roles {
+		fmt.Fprintf(w, "%-18s %8d %8.3f\n", role, r.Counts[role], r.Accuracy[role])
+	}
+}
+
+// StatsResult holds experiment E3: corpus basic statistics.
+type StatsResult struct {
+	Stats industrial.Stats
+}
+
+// CorpusStats generates the extrapolation corpus and tallies Sec. VI.1's
+// statistics.
+func CorpusStats(opts Options) (*StatsResult, []*dataset.Sample, error) {
+	corpus, err := industrial.Corpus(opts.CorpusSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &StatsResult{Stats: industrial.ComputeStats(corpus)}, corpus, nil
+}
+
+// Print writes the statistics the way Sec. VI.1 reports them.
+func (r *StatsResult) Print(w io.Writer) {
+	st := r.Stats
+	fmt.Fprintf(w, "Extrapolation corpus basic statistics (Sec. VI.1)\n")
+	fmt.Fprintf(w, "TDs: %d (size %.0f±%.0f x %.0f±%.0f)\n", st.TDs, st.MeanW, st.StdW, st.MeanH, st.StdH)
+	fmt.Fprintf(w, "signals per TD: ")
+	for n := 1; n <= 3; n++ {
+		fmt.Fprintf(w, "%d:%d (%.1f%%) ", n, st.SignalHist[n], 100*float64(st.SignalHist[n])/float64(st.TDs))
+	}
+	fmt.Fprintf(w, "\nsignals: %d; edges per signal: ", st.Signals)
+	for n := 1; n <= 4; n++ {
+		fmt.Fprintf(w, "%d:%d (%.1f%%) ", n, st.EdgeHist[n], 100*float64(st.EdgeHist[n])/float64(st.Signals))
+	}
+	fmt.Fprintf(w, "\ntiming constraints: %d\n", st.Constraints)
+}
+
+// TableIIRow is one class row of Table II.
+type TableIIRow struct {
+	Name   string
+	Number int
+	P, R   float64
+}
+
+// TableIIResult holds experiment E4.
+type TableIIResult struct {
+	Rows []TableIIRow
+}
+
+// TableII runs the object-detection extrapolation experiment: the trained
+// pipeline's edges, V-lines, H-lines and arrows scored against the
+// industrial corpus ground truth.
+func TableII(pipe *core.Pipeline, corpus []*dataset.Sample) *TableIIResult {
+	// Edge classes via IoU matching.
+	var dets []detect.Detection
+	var gts []detect.GroundTruth
+	// Line/arrow tallies.
+	type tally struct{ tp, fp, fn int }
+	var vT, hT, aT tally
+
+	for i, s := range corpus {
+		_, rep, err := pipe.Translate(s.Image)
+		var outV []geom.VSeg
+		var outH []geom.HSeg
+		var outA []dataset.Arrow
+		if err == nil && rep.SEI != nil {
+			outV, outH, outA = rep.SEI.VLines, rep.SEI.HLines, rep.SEI.Arrows
+		}
+		if rep != nil {
+			for _, d := range rep.Edges {
+				dets = append(dets, detect.Detection{Box: d.Box, Class: int(d.Type), Score: d.Score, Image: i})
+			}
+		}
+		for _, g := range s.Edges {
+			gts = append(gts, detect.GroundTruth{Box: g.Box, Class: int(g.Type), Image: i})
+		}
+
+		tp, fp, fn := matchVLines(outV, s.VLines)
+		vT.tp += tp
+		vT.fp += fp
+		vT.fn += fn
+		tp, fp, fn = matchHLines(outH, s.HLines)
+		hT.tp += tp
+		hT.fp += fp
+		hT.fn += fn
+		tp, fp, fn = matchArrows(outA, s.Arrows)
+		aT.tp += tp
+		aT.fp += fp
+		aT.fn += fn
+	}
+
+	res := &TableIIResult{}
+	for _, et := range edgeClassOrder {
+		var d []detect.Detection
+		var g []detect.GroundTruth
+		for _, x := range dets {
+			if x.Class == int(et) {
+				d = append(d, x)
+			}
+		}
+		for _, x := range gts {
+			if x.Class == int(et) {
+				g = append(g, x)
+			}
+		}
+		m := detect.Match(d, g, 0.5)
+		p, r := m.PR()
+		res.Rows = append(res.Rows, TableIIRow{Name: et.String(), Number: len(g), P: p, R: r})
+	}
+	pr := func(t tally) (float64, float64) {
+		p, r := 1.0, 1.0
+		if t.tp+t.fp > 0 {
+			p = float64(t.tp) / float64(t.tp+t.fp)
+		}
+		if t.tp+t.fn > 0 {
+			r = float64(t.tp) / float64(t.tp+t.fn)
+		}
+		return p, r
+	}
+	p, r := pr(vT)
+	res.Rows = append(res.Rows, TableIIRow{Name: "V-line", Number: vT.tp + vT.fn, P: p, R: r})
+	p, r = pr(hT)
+	res.Rows = append(res.Rows, TableIIRow{Name: "H-line", Number: hT.tp + hT.fn, P: p, R: r})
+	p, r = pr(aT)
+	res.Rows = append(res.Rows, TableIIRow{Name: "arrow", Number: aT.tp + aT.fn, P: p, R: r})
+	return res
+}
+
+// Print writes Table II in the paper's format.
+func (r *TableIIResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "TABLE II: Object Detection Accuracy in Extrapolation.\n")
+	fmt.Fprintf(w, "%-10s %7s %8s %8s\n", "Metrics", "number", "P", "R")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %7d %8.3f %8.3f\n", row.Name, row.Number, row.P, row.R)
+	}
+}
+
+// matchVLines greedily matches detected event lines to ground truth by
+// column proximity and span overlap.
+func matchVLines(dets, gts []geom.VSeg) (tp, fp, fn int) {
+	used := make([]bool, len(gts))
+	for _, d := range dets {
+		hit := false
+		for i, g := range gts {
+			if used[i] || geom.Abs(d.X-g.X) > 4 {
+				continue
+			}
+			if overlap1D(d.Y0, d.Y1, g.Y0, g.Y1) >= g.Len()/2 {
+				used[i] = true
+				hit = true
+				break
+			}
+		}
+		if hit {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	return tp, fp, len(gts) - tp
+}
+
+// matchHLines matches threshold lines by row proximity and span overlap.
+func matchHLines(dets, gts []geom.HSeg) (tp, fp, fn int) {
+	used := make([]bool, len(gts))
+	for _, d := range dets {
+		hit := false
+		for i, g := range gts {
+			if used[i] || geom.Abs(d.Y-g.Y) > 4 {
+				continue
+			}
+			if overlap1D(d.X0, d.X1, g.X0, g.X1) >= g.Len()/2 {
+				used[i] = true
+				hit = true
+				break
+			}
+		}
+		if hit {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	return tp, fp, len(gts) - tp
+}
+
+// matchArrows matches arrows by row and endpoint proximity.
+func matchArrows(dets []dataset.Arrow, gts []dataset.Arrow) (tp, fp, fn int) {
+	used := make([]bool, len(gts))
+	for _, d := range dets {
+		hit := false
+		for i, g := range gts {
+			if used[i] {
+				continue
+			}
+			if geom.Abs(d.Y-g.Y) <= 5 && geom.Abs(d.X0-g.X0) <= 6 && geom.Abs(d.X1-g.X1) <= 6 {
+				used[i] = true
+				hit = true
+				break
+			}
+		}
+		if hit {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	return tp, fp, len(gts) - tp
+}
+
+func overlap1D(a0, a1, b0, b1 int) int {
+	lo := a0
+	if b0 > lo {
+		lo = b0
+	}
+	hi := a1
+	if b1 < hi {
+		hi = b1
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// TableIII runs the OCR extrapolation experiment (paper Table III).
+func TableIII(pipe *core.Pipeline, corpus []*dataset.Sample) *OCRValResult {
+	return ocrAccuracy(pipe, corpus)
+}
+
+// OverallResult holds experiment E6: Sec. VI.3's overall performance.
+type OverallResult struct {
+	Total         int
+	TemplateLevel int // structurally correct SPOs
+	TotallyOK     int // structurally and textually correct
+	// PartialRecall is the mean fraction of ground-truth constraints
+	// recovered on the structurally incorrect diagrams.
+	PartialRecall float64
+	// PerSample lists each diagram's outcome for inspection.
+	PerSample []SampleOutcome
+}
+
+// SampleOutcome is one diagram's result.
+type SampleOutcome struct {
+	Name     string
+	Template bool
+	Total    bool
+	Recall   float64
+	Err      error
+	Got      *spo.SPO
+}
+
+// Overall runs the full pipeline over the corpus and scores SPO extraction
+// at the template and total level.
+func Overall(pipe *core.Pipeline, corpus []*dataset.Sample) *OverallResult {
+	res := &OverallResult{Total: len(corpus)}
+	var partials []float64
+	for _, s := range corpus {
+		out := SampleOutcome{Name: s.Name}
+		got, _, err := pipe.Translate(s.Image)
+		if err != nil {
+			out.Err = err
+			out.Recall = 0
+			partials = append(partials, 0)
+			res.PerSample = append(res.PerSample, out)
+			continue
+		}
+		out.Got = got
+		out.Template = got.TemplateEqual(s.Truth)
+		out.Total = got.TotalEqual(s.Truth)
+		out.Recall = got.ConstraintRecall(s.Truth)
+		if out.Template {
+			res.TemplateLevel++
+		} else {
+			partials = append(partials, out.Recall)
+		}
+		if out.Total {
+			res.TotallyOK++
+		}
+		res.PerSample = append(res.PerSample, out)
+	}
+	if len(partials) > 0 {
+		sum := 0.0
+		for _, v := range partials {
+			sum += v
+		}
+		res.PartialRecall = sum / float64(len(partials))
+	}
+	sort.Slice(res.PerSample, func(i, j int) bool { return res.PerSample[i].Name < res.PerSample[j].Name })
+	return res
+}
+
+// Print writes the overall-performance summary (Sec. VI.3 numbers).
+func (r *OverallResult) Print(w io.Writer, verbose bool) {
+	fmt.Fprintf(w, "Overall performance (Sec. VI.3)\n")
+	fmt.Fprintf(w, "template-level correct SPOs: %d/%d (%.1f%%)\n",
+		r.TemplateLevel, r.Total, 100*float64(r.TemplateLevel)/float64(r.Total))
+	fmt.Fprintf(w, "totally correct SPOs:        %d/%d (%.1f%%)\n",
+		r.TotallyOK, r.Total, 100*float64(r.TotallyOK)/float64(r.Total))
+	fmt.Fprintf(w, "mean constraint recall on structurally incorrect TDs: %.2f\n", r.PartialRecall)
+	if verbose {
+		for _, s := range r.PerSample {
+			status := "partial"
+			switch {
+			case s.Err != nil:
+				status = "error: " + s.Err.Error()
+			case s.Total:
+				status = "total"
+			case s.Template:
+				status = "template"
+			}
+			fmt.Fprintf(w, "  %-8s %-9s recall %.2f\n", s.Name, status, s.Recall)
+			if s.Got != nil && !s.Total {
+				fmt.Fprint(w, indent(s.Got.SpecText(), "    "))
+			}
+		}
+	}
+}
+
+func indent(s, prefix string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += prefix + s[start:i+1]
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out += prefix + s[start:] + "\n"
+	}
+	return out
+}

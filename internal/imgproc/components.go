@@ -1,0 +1,156 @@
+package imgproc
+
+import (
+	"sort"
+
+	"tdmagic/internal/geom"
+)
+
+// Component is a maximal set of 8-connected ink pixels.
+type Component struct {
+	Box    geom.Rect // bounding box of the component
+	Area   int       // number of pixels in the component
+	Points []geom.Pt // member pixels, row-major order
+}
+
+// Components labels b with 8-connectivity and returns every connected
+// component of set pixels, sorted top-to-bottom then left-to-right by
+// bounding-box origin. Components with fewer than minArea pixels are dropped.
+func Components(b *Binary, minArea int) []Component {
+	labels := make([]int32, b.W*b.H)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var comps []Component
+	// Iterative BFS flood fill to stay stack-safe on large blobs.
+	queue := make([]geom.Pt, 0, 256)
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			idx := y*b.W + x
+			if !b.Pix[idx] || labels[idx] >= 0 {
+				continue
+			}
+			id := int32(len(comps))
+			labels[idx] = id
+			queue = queue[:0]
+			queue = append(queue, geom.Pt{X: x, Y: y})
+			comp := Component{Box: geom.Rect{X0: x, Y0: y, X1: x, Y1: y}}
+			for len(queue) > 0 {
+				p := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				comp.Points = append(comp.Points, p)
+				comp.Area++
+				comp.Box = comp.Box.Union(geom.Rect{X0: p.X, Y0: p.Y, X1: p.X, Y1: p.Y})
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						nx, ny := p.X+dx, p.Y+dy
+						if nx < 0 || ny < 0 || nx >= b.W || ny >= b.H {
+							continue
+						}
+						nidx := ny*b.W + nx
+						if b.Pix[nidx] && labels[nidx] < 0 {
+							labels[nidx] = id
+							queue = append(queue, geom.Pt{X: nx, Y: ny})
+						}
+					}
+				}
+			}
+			if comp.Area >= minArea {
+				comps = append(comps, comp)
+			}
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].Box.Y0 != comps[j].Box.Y0 {
+			return comps[i].Box.Y0 < comps[j].Box.Y0
+		}
+		return comps[i].Box.X0 < comps[j].Box.X0
+	})
+	return comps
+}
+
+// Mask returns a Binary of the component's bounding-box size with exactly the
+// component's pixels set (coordinates relative to Box).
+func (c Component) Mask() *Binary {
+	m := NewBinary(c.Box.W(), c.Box.H())
+	for _, p := range c.Points {
+		m.Set(p.X-c.Box.X0, p.Y-c.Box.Y0, true)
+	}
+	return m
+}
+
+// RowProfile returns, for each row of b, the number of set pixels.
+func RowProfile(b *Binary) []int {
+	prof := make([]int, b.H)
+	for y := 0; y < b.H; y++ {
+		n := 0
+		row := b.Pix[y*b.W : (y+1)*b.W]
+		for _, v := range row {
+			if v {
+				n++
+			}
+		}
+		prof[y] = n
+	}
+	return prof
+}
+
+// ColProfile returns, for each column of b, the number of set pixels.
+func ColProfile(b *Binary) []int {
+	prof := make([]int, b.W)
+	for y := 0; y < b.H; y++ {
+		row := b.Pix[y*b.W : (y+1)*b.W]
+		for x, v := range row {
+			if v {
+				prof[x]++
+			}
+		}
+	}
+	return prof
+}
+
+// HRuns returns every maximal horizontal run of set pixels in b that is at
+// least minLen pixels long.
+func HRuns(b *Binary, minLen int) []geom.HSeg {
+	var runs []geom.HSeg
+	for y := 0; y < b.H; y++ {
+		row := b.Pix[y*b.W : (y+1)*b.W]
+		start := -1
+		for x := 0; x <= b.W; x++ {
+			set := x < b.W && row[x]
+			if set && start < 0 {
+				start = x
+			} else if !set && start >= 0 {
+				if x-start >= minLen {
+					runs = append(runs, geom.HSeg{Y: y, X0: start, X1: x - 1})
+				}
+				start = -1
+			}
+		}
+	}
+	return runs
+}
+
+// VRuns returns every maximal vertical run of set pixels in b that is at
+// least minLen pixels long.
+func VRuns(b *Binary, minLen int) []geom.VSeg {
+	var runs []geom.VSeg
+	for x := 0; x < b.W; x++ {
+		start := -1
+		for y := 0; y <= b.H; y++ {
+			set := y < b.H && b.Pix[y*b.W+x]
+			if set && start < 0 {
+				start = y
+			} else if !set && start >= 0 {
+				if y-start >= minLen {
+					runs = append(runs, geom.VSeg{X: x, Y0: start, Y1: y - 1})
+				}
+				start = -1
+			}
+		}
+	}
+	return runs
+}

@@ -1,0 +1,285 @@
+// Package imgproc provides the raster substrate of the TD-Magic pipeline:
+// grayscale and binary image types, thresholding, connected-component
+// labelling, row/column profiles, cropping and nearest-neighbour scaling.
+//
+// Timing-diagram pictures are dark ink on light paper. The pipeline works on
+// the inverse binary image ("imgBW" in the paper): a pixel is set (true) when
+// it carries ink. All algorithms in this package follow that convention.
+package imgproc
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"tdmagic/internal/geom"
+)
+
+// Gray is a dense 8-bit grayscale image. 0 is black, 255 is white.
+type Gray struct {
+	W, H int
+	Pix  []uint8 // row-major, len = W*H
+}
+
+// NewGray returns a Gray of the given size filled with white (255).
+func NewGray(w, h int) *Gray {
+	g := &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+	for i := range g.Pix {
+		g.Pix[i] = 255
+	}
+	return g
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return white.
+func (g *Gray) At(x, y int) uint8 {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return 255
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (g *Gray) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Bounds returns the image rectangle in geom coordinates.
+func (g *Gray) Bounds() geom.Rect { return geom.Rect{X0: 0, Y0: 0, X1: g.W - 1, Y1: g.H - 1} }
+
+// Clone returns a deep copy of g.
+func (g *Gray) Clone() *Gray {
+	c := &Gray{W: g.W, H: g.H, Pix: make([]uint8, len(g.Pix))}
+	copy(c.Pix, g.Pix)
+	return c
+}
+
+// Crop returns a copy of the region r of g (clipped to the image).
+func (g *Gray) Crop(r geom.Rect) *Gray {
+	r = r.Clip(g.Bounds())
+	if r.Empty() {
+		return NewGray(0, 0)
+	}
+	out := NewGray(r.W(), r.H())
+	for y := 0; y < out.H; y++ {
+		src := (r.Y0+y)*g.W + r.X0
+		copy(out.Pix[y*out.W:(y+1)*out.W], g.Pix[src:src+out.W])
+	}
+	return out
+}
+
+// ScaleTo returns g resampled to w×h using nearest-neighbour interpolation.
+func (g *Gray) ScaleTo(w, h int) *Gray {
+	out := NewGray(w, h)
+	if g.W == 0 || g.H == 0 || w == 0 || h == 0 {
+		return out
+	}
+	for y := 0; y < h; y++ {
+		sy := y * g.H / h
+		for x := 0; x < w; x++ {
+			sx := x * g.W / w
+			out.Pix[y*w+x] = g.Pix[sy*g.W+sx]
+		}
+	}
+	return out
+}
+
+// ToImage converts g to a stdlib *image.Gray.
+func (g *Gray) ToImage() *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, g.W, g.H))
+	for y := 0; y < g.H; y++ {
+		copy(img.Pix[y*img.Stride:y*img.Stride+g.W], g.Pix[y*g.W:(y+1)*g.W])
+	}
+	return img
+}
+
+// FromImage converts any stdlib image to a Gray using the luminance of each
+// pixel.
+func FromImage(img image.Image) *Gray {
+	b := img.Bounds()
+	g := NewGray(b.Dx(), b.Dy())
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			c := color.GrayModel.Convert(img.At(b.Min.X+x, b.Min.Y+y)).(color.Gray)
+			g.Pix[y*g.W+x] = c.Y
+		}
+	}
+	return g
+}
+
+// EncodePNG writes g as a PNG to w.
+func (g *Gray) EncodePNG(w io.Writer) error { return png.Encode(w, g.ToImage()) }
+
+// DecodePNG reads a PNG from r and converts it to a Gray.
+func DecodePNG(r io.Reader) (*Gray, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("imgproc: decode png: %w", err)
+	}
+	return FromImage(img), nil
+}
+
+// Binary is a dense 1-bit image. Set pixels (true) carry ink.
+type Binary struct {
+	W, H int
+	Pix  []bool // row-major, len = W*H
+}
+
+// NewBinary returns an all-clear Binary of the given size.
+func NewBinary(w, h int) *Binary {
+	return &Binary{W: w, H: h, Pix: make([]bool, w*h)}
+}
+
+// At returns the pixel at (x, y); out-of-bounds reads return false.
+func (b *Binary) At(x, y int) bool {
+	if x < 0 || y < 0 || x >= b.W || y >= b.H {
+		return false
+	}
+	return b.Pix[y*b.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (b *Binary) Set(x, y int, v bool) {
+	if x < 0 || y < 0 || x >= b.W || y >= b.H {
+		return
+	}
+	b.Pix[y*b.W+x] = v
+}
+
+// Bounds returns the image rectangle in geom coordinates.
+func (b *Binary) Bounds() geom.Rect { return geom.Rect{X0: 0, Y0: 0, X1: b.W - 1, Y1: b.H - 1} }
+
+// Clone returns a deep copy of b.
+func (b *Binary) Clone() *Binary {
+	c := &Binary{W: b.W, H: b.H, Pix: make([]bool, len(b.Pix))}
+	copy(c.Pix, b.Pix)
+	return c
+}
+
+// Count returns the number of set pixels.
+func (b *Binary) Count() int {
+	n := 0
+	for _, v := range b.Pix {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Crop returns a copy of the region r of b (clipped to the image).
+func (b *Binary) Crop(r geom.Rect) *Binary {
+	r = r.Clip(b.Bounds())
+	if r.Empty() {
+		return NewBinary(0, 0)
+	}
+	out := NewBinary(r.W(), r.H())
+	for y := 0; y < out.H; y++ {
+		src := (r.Y0+y)*b.W + r.X0
+		copy(out.Pix[y*out.W:(y+1)*out.W], b.Pix[src:src+out.W])
+	}
+	return out
+}
+
+// Or sets every pixel of b that is set in o. Both images must have equal size.
+func (b *Binary) Or(o *Binary) {
+	if b.W != o.W || b.H != o.H {
+		panic("imgproc: Or on mismatched sizes")
+	}
+	for i, v := range o.Pix {
+		if v {
+			b.Pix[i] = true
+		}
+	}
+}
+
+// AndNot clears every pixel of b that is set in o.
+func (b *Binary) AndNot(o *Binary) {
+	if b.W != o.W || b.H != o.H {
+		panic("imgproc: AndNot on mismatched sizes")
+	}
+	for i, v := range o.Pix {
+		if v {
+			b.Pix[i] = false
+		}
+	}
+}
+
+// ClearRect clears every pixel inside r.
+func (b *Binary) ClearRect(r geom.Rect) {
+	r = r.Clip(b.Bounds())
+	for y := r.Y0; y <= r.Y1; y++ {
+		for x := r.X0; x <= r.X1; x++ {
+			b.Pix[y*b.W+x] = false
+		}
+	}
+}
+
+// ToGray converts b to a Gray image: set pixels become black (0), clear
+// pixels white (255).
+func (b *Binary) ToGray() *Gray {
+	g := NewGray(b.W, b.H)
+	for i, v := range b.Pix {
+		if v {
+			g.Pix[i] = 0
+		}
+	}
+	return g
+}
+
+// Threshold converts g to an inverse binary image: a pixel is set when its
+// gray value is strictly below thr (i.e. the pixel carries ink).
+func Threshold(g *Gray, thr uint8) *Binary {
+	b := NewBinary(g.W, g.H)
+	for i, v := range g.Pix {
+		if v < thr {
+			b.Pix[i] = true
+		}
+	}
+	return b
+}
+
+// OtsuThreshold computes the Otsu threshold of g: the gray level that
+// maximises the between-class variance of the ink/paper split. It returns a
+// value suitable to pass to Threshold.
+func OtsuThreshold(g *Gray) uint8 {
+	var hist [256]int
+	for _, v := range g.Pix {
+		hist[v]++
+	}
+	total := len(g.Pix)
+	if total == 0 {
+		return 128
+	}
+	var sum float64
+	for i, n := range hist {
+		sum += float64(i) * float64(n)
+	}
+	var sumB, wB float64
+	bestVar, best := -1.0, 128
+	for t := 0; t < 256; t++ {
+		wB += float64(hist[t])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(t) * float64(hist[t])
+		mB := sumB / wB
+		mF := (sum - sumB) / wF
+		v := wB * wF * (mB - mF) * (mB - mF)
+		if v > bestVar {
+			bestVar = v
+			best = t
+		}
+	}
+	// Threshold() uses "strictly below", so split just above the class
+	// boundary.
+	return uint8(geom.Clamp(best+1, 1, 255))
+}

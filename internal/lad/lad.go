@@ -1,0 +1,118 @@
+// Package lad implements the paper's LAD (line-and-arrow detection) module:
+// it binarises the input picture into the inverse binary image imgBW and
+// applies morphological vertical/horizontal contour detection, which
+// (1) strengthens dashed structures into solid lines, (2) filters out
+// everything not line-shaped, and (3) collects the surviving contours with
+// their coordinates.
+//
+// LAD is purely geometric; deciding which vertical contours are event
+// annotation lines, which horizontal contours are threshold lines, and which
+// are timing-constraint arrows requires the edge boxes from SED and is the
+// job of the SEI module.
+package lad
+
+import (
+	"tdmagic/internal/geom"
+	"tdmagic/internal/imgproc"
+	"tdmagic/internal/morph"
+)
+
+// Config holds the morphology parameters.
+type Config struct {
+	// Threshold is the binarisation cut; 0 selects Otsu's method.
+	Threshold uint8
+	// VBridge / HBridge are the closing element lengths that join dash
+	// gaps; VMinLen / HMinLen are the opening element lengths that remove
+	// everything shorter.
+	VBridge, VMinLen int
+	HBridge, HMinLen int
+	// MaxThick rejects contours thicker than this across their axis —
+	// text blobs and filled regions are not lines.
+	MaxThick int
+}
+
+// DefaultConfig returns parameters tuned for the generated 900×540 pictures
+// (dash pattern 4 on / 4 off).
+func DefaultConfig() Config {
+	return Config{
+		VBridge: 9, VMinLen: 30,
+		HBridge: 9, HMinLen: 25,
+		MaxThick: 10,
+	}
+}
+
+// VContour is a detected vertical structure.
+type VContour struct {
+	Seg geom.VSeg
+	// Density is the ink fraction along the contour in the *raw* binary
+	// image: ~1 for solid strokes, ~0.5 for dashed annotation lines.
+	Density float64
+}
+
+// HContour is a detected horizontal structure.
+type HContour struct {
+	Seg geom.HSeg
+	// Density is the raw ink fraction along the contour row.
+	Density float64
+}
+
+// Result holds LAD's output.
+type Result struct {
+	BW *imgproc.Binary // the inverse binary image the contours came from
+	V  []VContour
+	H  []HContour
+}
+
+// Detect runs binarisation and contour extraction on img.
+func Detect(img *imgproc.Gray, cfg Config) *Result {
+	thr := cfg.Threshold
+	if thr == 0 {
+		thr = imgproc.OtsuThreshold(img)
+	}
+	bw := imgproc.Threshold(img, thr)
+	return DetectBinary(bw, cfg)
+}
+
+// DetectBinary runs contour extraction on an existing inverse binary image.
+func DetectBinary(bw *imgproc.Binary, cfg Config) *Result {
+	res := &Result{BW: bw}
+	for _, seg := range morph.VerticalContours(bw, cfg.VBridge, cfg.VMinLen, cfg.MaxThick) {
+		res.V = append(res.V, VContour{Seg: seg, Density: vDensity(bw, seg)})
+	}
+	for _, seg := range morph.HorizontalContours(bw, cfg.HBridge, cfg.HMinLen, cfg.MaxThick) {
+		res.H = append(res.H, HContour{Seg: seg, Density: hDensity(bw, seg)})
+	}
+	return res
+}
+
+// vDensity measures the raw ink fraction along a vertical segment, probing
+// one column to each side to tolerate thick or slightly tilted strokes.
+func vDensity(bw *imgproc.Binary, s geom.VSeg) float64 {
+	if s.Len() <= 0 {
+		return 0
+	}
+	hits := 0
+	for y := s.Y0; y <= s.Y1; y++ {
+		if bw.At(s.X, y) || bw.At(s.X-1, y) || bw.At(s.X+1, y) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(s.Len())
+}
+
+// hDensity measures the raw ink fraction along a horizontal segment.
+func hDensity(bw *imgproc.Binary, s geom.HSeg) float64 {
+	if s.Len() <= 0 {
+		return 0
+	}
+	hits := 0
+	for x := s.X0; x <= s.X1; x++ {
+		if bw.At(x, s.Y) || bw.At(x, s.Y-1) || bw.At(x, s.Y+1) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(s.Len())
+}
+
+// Dashed reports whether a contour density indicates a dashed stroke.
+func Dashed(density float64) bool { return density < 0.85 }

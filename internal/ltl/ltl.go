@@ -1,0 +1,76 @@
+// Package ltl exports SPO specifications to a metric-temporal-logic style
+// textual formula, bridging TD-Magic's output to the model-checking
+// tool-chains the paper's related work translates timing diagrams into
+// (e.g. Amla, Emerson & Namjoshi's decompositional model checking over
+// regular timing diagrams).
+//
+// Each timing constraint e = (src, td, dst) becomes a bounded-response
+// conjunct: globally, whenever the source event fires, the destination
+// event fires within td's bounds. Without bounds the response is only
+// ordered (eventually).
+package ltl
+
+import (
+	"fmt"
+	"strings"
+
+	"tdmagic/internal/monitor"
+	"tdmagic/internal/spo"
+)
+
+// Atom renders the atomic proposition of an SPO event.
+func Atom(n spo.Node) string {
+	sig := sanitize(n.Signal)
+	switch {
+	case n.Type == spo.RiseStep:
+		return fmt.Sprintf("rise(%s,%d)", sig, n.EdgeIndex)
+	case n.Type == spo.FallStep:
+		return fmt.Sprintf("fall(%s,%d)", sig, n.EdgeIndex)
+	default:
+		th := n.Threshold
+		if th == "" || th == spo.NoThreshold {
+			th = "50%"
+		}
+		dir := "up"
+		if n.Type == spo.FallRamp {
+			dir = "down"
+		}
+		if n.Type == spo.Double {
+			dir = "x"
+		}
+		return fmt.Sprintf("cross_%s(%s,%d,%s)", dir, sig, n.EdgeIndex, th)
+	}
+}
+
+// sanitize strips rich markup from a signal name for use in an identifier.
+func sanitize(s string) string {
+	r := strings.NewReplacer("_{", "", "}", "", " ", "_")
+	return r.Replace(s)
+}
+
+// Formula renders the whole SPO as a conjunction of bounded-response
+// properties. delays supplies the interval of each timing parameter; a
+// missing entry yields an unbounded eventually.
+func Formula(p *spo.SPO, delays map[string]monitor.Bounds) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", fmt.Errorf("ltl: invalid SPO: %w", err)
+	}
+	if len(p.Constraints) == 0 {
+		return "true", nil
+	}
+	var parts []string
+	for _, c := range p.Constraints {
+		src := Atom(p.Nodes[c.Src])
+		dst := Atom(p.Nodes[c.Dst])
+		interval := "(0,inf)"
+		if b, ok := delays[c.Delay]; ok {
+			if b.Max > 0 {
+				interval = fmt.Sprintf("[%g,%g]", b.Min, b.Max)
+			} else {
+				interval = fmt.Sprintf("[%g,inf)", b.Min)
+			}
+		}
+		parts = append(parts, fmt.Sprintf("G( %s -> F_%s %s )", src, interval, dst))
+	}
+	return strings.Join(parts, "\n& "), nil
+}

@@ -1,0 +1,85 @@
+package ltl
+
+import (
+	"strings"
+	"testing"
+
+	"tdmagic/internal/monitor"
+	"tdmagic/internal/spo"
+)
+
+func TestAtom(t *testing.T) {
+	cases := []struct {
+		n    spo.Node
+		want string
+	}{
+		{spo.Node{Signal: "V_{INA}", EdgeIndex: 1, Type: spo.RiseStep}, "rise(VINA,1)"},
+		{spo.Node{Signal: "X", EdgeIndex: 2, Type: spo.FallStep}, "fall(X,2)"},
+		{spo.Node{Signal: "Y", EdgeIndex: 1, Type: spo.RiseRamp, Threshold: "90%"}, "cross_up(Y,1,90%)"},
+		{spo.Node{Signal: "Y", EdgeIndex: 2, Type: spo.FallRamp, Threshold: "10%"}, "cross_down(Y,2,10%)"},
+		{spo.Node{Signal: "SI", EdgeIndex: 1, Type: spo.Double, Threshold: "50%"}, "cross_x(SI,1,50%)"},
+		{spo.Node{Signal: "Z", EdgeIndex: 1, Type: spo.RiseRamp}, "cross_up(Z,1,50%)"},
+	}
+	for _, c := range cases {
+		if got := Atom(c.n); got != c.want {
+			t.Errorf("Atom(%v) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFormulaExample2(t *testing.T) {
+	p := &spo.SPO{}
+	n1 := p.AddNode(spo.Node{Signal: "SI", EdgeIndex: 1, Type: spo.Double, Threshold: "50%"})
+	n2 := p.AddNode(spo.Node{Signal: "SCK", EdgeIndex: 1, Type: spo.RiseRamp, Threshold: "50%"})
+	n3 := p.AddNode(spo.Node{Signal: "SI", EdgeIndex: 2, Type: spo.Double, Threshold: "50%"})
+	_ = p.AddConstraint(n1, n2, "t_{s}")
+	_ = p.AddConstraint(n2, n3, "t_{h}")
+	got, err := Formula(p, map[string]monitor.Bounds{
+		"t_{s}": {Min: 1, Max: 5},
+		"t_{h}": {Min: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"G( cross_x(SI,1,50%) -> F_[1,5] cross_up(SCK,1,50%) )",
+		"G( cross_up(SCK,1,50%) -> F_[2,inf) cross_x(SI,2,50%) )",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("formula missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "\n& ") {
+		t.Error("conjuncts not joined")
+	}
+}
+
+func TestFormulaNoBounds(t *testing.T) {
+	p := &spo.SPO{}
+	a := p.AddNode(spo.Node{Signal: "A", EdgeIndex: 1, Type: spo.RiseStep})
+	b := p.AddNode(spo.Node{Signal: "B", EdgeIndex: 1, Type: spo.RiseStep})
+	_ = p.AddConstraint(a, b, "t")
+	got, err := Formula(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, "F_(0,inf)") {
+		t.Errorf("unbounded response missing: %s", got)
+	}
+}
+
+func TestFormulaEmpty(t *testing.T) {
+	got, err := Formula(&spo.SPO{}, nil)
+	if err != nil || got != "true" {
+		t.Errorf("empty formula = %q, %v", got, err)
+	}
+}
+
+func TestFormulaInvalid(t *testing.T) {
+	p := &spo.SPO{}
+	a := p.AddNode(spo.Node{Signal: "A", EdgeIndex: 1, Type: spo.RiseStep})
+	p.Constraints = append(p.Constraints, spo.Constraint{Src: a, Dst: a})
+	if _, err := Formula(p, nil); err == nil {
+		t.Error("invalid SPO accepted")
+	}
+}

@@ -1,0 +1,239 @@
+// Package morph implements the binary mathematical-morphology operations the
+// LAD module relies on: erosion, dilation, opening and closing with
+// rectangular structuring elements, specialised fast paths for line-shaped
+// elements, and contour (run) extraction.
+//
+// The paper's LAD module "applies vertical contour detection" that
+// (1) strengthens vertical structures (turning dashed vertical lines into
+// solid lines), (2) filters out all non-vertical elements, and (3) collects
+// the surviving vertical contours. In morphology terms that is a closing with
+// a vertical line element followed by an opening with a (longer) vertical
+// line element; this package provides those building blocks.
+package morph
+
+import (
+	"tdmagic/internal/geom"
+	"tdmagic/internal/imgproc"
+)
+
+// SE is a flat rectangular structuring element, centred. W and H must be
+// >= 1. Even-sized extents are biased toward the top-left: an element of
+// width 2 covers offsets {0, +1} during erosion and the mirrored {-1, 0}
+// during dilation-equivalent coverage, so odd sizes are preferred.
+type SE struct {
+	W, H int
+}
+
+// HLine returns a horizontal line structuring element of length n.
+func HLine(n int) SE { return SE{W: n, H: 1} }
+
+// VLine returns a vertical line structuring element of length n.
+func VLine(n int) SE { return SE{W: 1, H: n} }
+
+// Rect returns a w×h rectangular structuring element.
+func Rect(w, h int) SE { return SE{W: w, H: h} }
+
+// Dilate returns the dilation of b by se: a pixel is set in the result when
+// any pixel under the (centred) element is set in b.
+func Dilate(b *imgproc.Binary, se SE) *imgproc.Binary {
+	// Separable: dilate horizontally then vertically.
+	tmp := dilateH(b, se.W)
+	return dilateV(tmp, se.H)
+}
+
+// Erode returns the erosion of b by se: a pixel is set in the result only
+// when every pixel under the (centred) element is set in b. Pixels outside
+// the image are treated as clear, so erosion shrinks structures touching the
+// border.
+func Erode(b *imgproc.Binary, se SE) *imgproc.Binary {
+	tmp := erodeH(b, se.W)
+	return erodeV(tmp, se.H)
+}
+
+// Open returns the opening of b by se (erosion then dilation). Opening with a
+// vertical line element keeps only structures at least as tall as the
+// element.
+func Open(b *imgproc.Binary, se SE) *imgproc.Binary {
+	return Dilate(Erode(b, se), se)
+}
+
+// Close returns the closing of b by se (dilation then erosion). Closing with
+// a vertical line element bridges vertical gaps shorter than the element —
+// this is what turns dashed annotation lines into solid ones.
+func Close(b *imgproc.Binary, se SE) *imgproc.Binary {
+	return Erode(Dilate(b, se), se)
+}
+
+func dilateH(b *imgproc.Binary, n int) *imgproc.Binary {
+	if n <= 1 {
+		return b.Clone()
+	}
+	left := (n - 1) / 2
+	right := n - 1 - left
+	out := imgproc.NewBinary(b.W, b.H)
+	for y := 0; y < b.H; y++ {
+		row := b.Pix[y*b.W : (y+1)*b.W]
+		orow := out.Pix[y*b.W : (y+1)*b.W]
+		// Sliding window count of set pixels in [x-left, x+right].
+		cnt := 0
+		for x := 0; x < right && x < b.W; x++ {
+			if row[x] {
+				cnt++
+			}
+		}
+		for x := 0; x < b.W; x++ {
+			if x+right < b.W && row[x+right] {
+				cnt++
+			}
+			if x-left-1 >= 0 && row[x-left-1] {
+				cnt--
+			}
+			if cnt > 0 {
+				orow[x] = true
+			}
+		}
+	}
+	return out
+}
+
+func dilateV(b *imgproc.Binary, n int) *imgproc.Binary {
+	if n <= 1 {
+		return b.Clone()
+	}
+	up := (n - 1) / 2
+	down := n - 1 - up
+	out := imgproc.NewBinary(b.W, b.H)
+	for x := 0; x < b.W; x++ {
+		cnt := 0
+		for y := 0; y < down && y < b.H; y++ {
+			if b.Pix[y*b.W+x] {
+				cnt++
+			}
+		}
+		for y := 0; y < b.H; y++ {
+			if y+down < b.H && b.Pix[(y+down)*b.W+x] {
+				cnt++
+			}
+			if y-up-1 >= 0 && b.Pix[(y-up-1)*b.W+x] {
+				cnt--
+			}
+			if cnt > 0 {
+				out.Pix[y*b.W+x] = true
+			}
+		}
+	}
+	return out
+}
+
+func erodeH(b *imgproc.Binary, n int) *imgproc.Binary {
+	if n <= 1 {
+		return b.Clone()
+	}
+	left := (n - 1) / 2
+	right := n - 1 - left
+	out := imgproc.NewBinary(b.W, b.H)
+	for y := 0; y < b.H; y++ {
+		row := b.Pix[y*b.W : (y+1)*b.W]
+		orow := out.Pix[y*b.W : (y+1)*b.W]
+		cnt := 0 // count of set pixels in window; need full n for erosion
+		for x := 0; x < right && x < b.W; x++ {
+			if row[x] {
+				cnt++
+			}
+		}
+		for x := 0; x < b.W; x++ {
+			if x+right < b.W && row[x+right] {
+				cnt++
+			}
+			if x-left-1 >= 0 && row[x-left-1] {
+				cnt--
+			}
+			// Window may be clipped at the border; clipped pixels count as
+			// clear, so a full-count match is impossible there.
+			if cnt == n {
+				orow[x] = true
+			}
+		}
+	}
+	return out
+}
+
+func erodeV(b *imgproc.Binary, n int) *imgproc.Binary {
+	if n <= 1 {
+		return b.Clone()
+	}
+	up := (n - 1) / 2
+	down := n - 1 - up
+	out := imgproc.NewBinary(b.W, b.H)
+	for x := 0; x < b.W; x++ {
+		cnt := 0
+		for y := 0; y < down && y < b.H; y++ {
+			if b.Pix[y*b.W+x] {
+				cnt++
+			}
+		}
+		for y := 0; y < b.H; y++ {
+			if y+down < b.H && b.Pix[(y+down)*b.W+x] {
+				cnt++
+			}
+			if y-up-1 >= 0 && b.Pix[(y-up-1)*b.W+x] {
+				cnt--
+			}
+			if cnt == n {
+				out.Pix[y*b.W+x] = true
+			}
+		}
+	}
+	return out
+}
+
+// VerticalContours extracts vertical structures from b: it first closes with
+// a vertical line of length bridge (joining dash gaps), then opens with a
+// vertical line of length minLen (removing everything shorter), and finally
+// collects each surviving connected component as a vertical segment at the
+// component's centre column. Components wider than maxThick are not
+// line-shaped (text blobs, filled areas) and are dropped; maxThick <= 0
+// disables the filter.
+func VerticalContours(b *imgproc.Binary, bridge, minLen, maxThick int) []geom.VSeg {
+	work := b
+	if bridge > 1 {
+		work = Close(b, VLine(bridge))
+	}
+	work = Open(work, VLine(minLen))
+	comps := imgproc.Components(work, minLen)
+	segs := make([]geom.VSeg, 0, len(comps))
+	for _, c := range comps {
+		if maxThick > 0 && c.Box.W() > maxThick {
+			continue
+		}
+		segs = append(segs, geom.VSeg{
+			X:  c.Box.CenterX(),
+			Y0: c.Box.Y0,
+			Y1: c.Box.Y1,
+		})
+	}
+	return segs
+}
+
+// HorizontalContours is the horizontal counterpart of VerticalContours;
+// components taller than maxThick are dropped.
+func HorizontalContours(b *imgproc.Binary, bridge, minLen, maxThick int) []geom.HSeg {
+	work := b
+	if bridge > 1 {
+		work = Close(b, HLine(bridge))
+	}
+	work = Open(work, HLine(minLen))
+	comps := imgproc.Components(work, minLen)
+	segs := make([]geom.HSeg, 0, len(comps))
+	for _, c := range comps {
+		if maxThick > 0 && c.Box.H() > maxThick {
+			continue
+		}
+		segs = append(segs, geom.HSeg{
+			Y:  c.Box.CenterY(),
+			X0: c.Box.X0,
+			X1: c.Box.X1,
+		})
+	}
+	return segs
+}

@@ -1,0 +1,257 @@
+package morph
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmagic/internal/imgproc"
+)
+
+func binFromRows(rows []string) *imgproc.Binary {
+	h := len(rows)
+	w := 0
+	if h > 0 {
+		w = len(rows[0])
+	}
+	b := imgproc.NewBinary(w, h)
+	for y, r := range rows {
+		for x, c := range r {
+			if c == '#' {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	return b
+}
+
+func binEqual(a, b *imgproc.Binary) bool {
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStructuringElements(t *testing.T) {
+	if HLine(5) != (SE{5, 1}) || VLine(3) != (SE{1, 3}) || Rect(2, 4) != (SE{2, 4}) {
+		t.Error("SE constructors wrong")
+	}
+}
+
+func TestDilateSinglePixel(t *testing.T) {
+	b := imgproc.NewBinary(7, 7)
+	b.Set(3, 3, true)
+	d := Dilate(b, Rect(3, 3))
+	if d.Count() != 9 {
+		t.Fatalf("3x3 dilation of a point has %d pixels, want 9", d.Count())
+	}
+	for y := 2; y <= 4; y++ {
+		for x := 2; x <= 4; x++ {
+			if !d.At(x, y) {
+				t.Errorf("pixel (%d,%d) not set", x, y)
+			}
+		}
+	}
+}
+
+func TestDilateEvenElement(t *testing.T) {
+	b := imgproc.NewBinary(7, 7)
+	b.Set(3, 3, true)
+	d := Dilate(b, HLine(2))
+	// Even element: biased toward the origin side, covers x in {2,3} at y=3.
+	if d.Count() != 2 || !d.At(2, 3) || !d.At(3, 3) {
+		t.Errorf("HLine(2) dilation wrong: count=%d", d.Count())
+	}
+}
+
+func TestErodeInverseOfDilateOnBlock(t *testing.T) {
+	b := imgproc.NewBinary(11, 11)
+	for y := 3; y <= 7; y++ {
+		for x := 3; x <= 7; x++ {
+			b.Set(x, y, true)
+		}
+	}
+	e := Erode(b, Rect(3, 3))
+	if e.Count() != 9 {
+		t.Fatalf("erosion of 5x5 block by 3x3 = %d pixels, want 9", e.Count())
+	}
+	// Erode then dilate (opening) restores a block that survived.
+	o := Open(b, Rect(3, 3))
+	if !binEqual(o, b) {
+		t.Error("opening should restore a block bigger than the element")
+	}
+}
+
+func TestErodeBorderClipping(t *testing.T) {
+	// A full image eroded by a 3x3 element loses its 1-pixel border.
+	b := imgproc.NewBinary(5, 5)
+	for i := range b.Pix {
+		b.Pix[i] = true
+	}
+	e := Erode(b, Rect(3, 3))
+	if e.Count() != 9 {
+		t.Errorf("full 5x5 eroded by 3x3 = %d pixels, want 9", e.Count())
+	}
+	if e.At(0, 0) || !e.At(2, 2) {
+		t.Error("border handling wrong")
+	}
+}
+
+func TestOpenRemovesSmallNoise(t *testing.T) {
+	b := binFromRows([]string{
+		".......",
+		".#.....",
+		".......",
+		"..###..",
+		"..###..",
+		"..###..",
+		".......",
+	})
+	o := Open(b, Rect(3, 3))
+	if o.At(1, 1) {
+		t.Error("opening kept isolated pixel")
+	}
+	if !o.At(3, 4) {
+		t.Error("opening removed the 3x3 block")
+	}
+}
+
+func TestCloseBridgesGaps(t *testing.T) {
+	// Dashed vertical line: segments with 2-pixel gaps.
+	b := imgproc.NewBinary(5, 20)
+	for y := 0; y < 20; y++ {
+		if y%5 < 3 { // 3 on, 2 off
+			b.Set(2, y, true)
+		}
+	}
+	c := Close(b, VLine(5))
+	// All gaps interior to the dash pattern should be filled. Border erosion
+	// (outside treated as clear) may trim up to 2 rows at each end.
+	for y := 2; y <= 17; y++ {
+		if !c.At(2, y) {
+			t.Errorf("closing left a gap at y=%d", y)
+		}
+	}
+}
+
+func TestIdentityElement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := imgproc.NewBinary(16, 16)
+	for i := range b.Pix {
+		b.Pix[i] = rng.Intn(2) == 0
+	}
+	if !binEqual(Dilate(b, SE{1, 1}), b) || !binEqual(Erode(b, SE{1, 1}), b) {
+		t.Error("1x1 element should be identity")
+	}
+}
+
+func TestDilateErodeDuality(t *testing.T) {
+	// On random images: Erode(b) ⊆ b ⊆ Dilate(b) (anti-extensivity /
+	// extensivity for centred elements containing the origin).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		b := imgproc.NewBinary(24, 24)
+		for i := range b.Pix {
+			b.Pix[i] = rng.Intn(3) == 0
+		}
+		se := SE{W: 1 + rng.Intn(3), H: 1 + rng.Intn(3)}
+		d := Dilate(b, se)
+		e := Erode(b, se)
+		for i := range b.Pix {
+			if e.Pix[i] && !b.Pix[i] {
+				t.Fatal("erosion grew the image")
+			}
+			if b.Pix[i] && !d.Pix[i] {
+				t.Fatal("dilation shrank the image")
+			}
+		}
+	}
+}
+
+func TestOpenCloseIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		b := imgproc.NewBinary(20, 20)
+		for i := range b.Pix {
+			b.Pix[i] = rng.Intn(3) == 0
+		}
+		se := Rect(1+rng.Intn(2)*2, 1+rng.Intn(2)*2) // odd sizes
+		o1 := Open(b, se)
+		o2 := Open(o1, se)
+		if !binEqual(o1, o2) {
+			t.Fatal("opening not idempotent")
+		}
+		c1 := Close(b, se)
+		c2 := Close(c1, se)
+		if !binEqual(c1, c2) {
+			t.Fatal("closing not idempotent")
+		}
+	}
+}
+
+func TestVerticalContours(t *testing.T) {
+	b := imgproc.NewBinary(40, 40)
+	// Solid vertical line at x=10, rows 5..34.
+	for y := 5; y <= 34; y++ {
+		b.Set(10, y, true)
+	}
+	// Dashed vertical line at x=25: 4 on, 3 off.
+	for y := 5; y <= 34; y++ {
+		if y%7 < 4 {
+			b.Set(25, y, true)
+		}
+	}
+	// Horizontal line (must be filtered out).
+	for x := 0; x < 40; x++ {
+		b.Set(x, 38, true)
+	}
+	// Short vertical tick (must be filtered out by minLen).
+	for y := 0; y < 4; y++ {
+		b.Set(35, y, true)
+	}
+	segs := VerticalContours(b, 5, 15, 0)
+	if len(segs) != 2 {
+		t.Fatalf("got %d vertical contours, want 2: %v", len(segs), segs)
+	}
+	if segs[0].X != 10 && segs[1].X != 10 {
+		t.Error("solid line at x=10 missed")
+	}
+	foundDashed := false
+	for _, s := range segs {
+		if s.X == 25 && s.Len() >= 25 {
+			foundDashed = true
+		}
+	}
+	if !foundDashed {
+		t.Errorf("dashed line not bridged into long contour: %v", segs)
+	}
+}
+
+func TestHorizontalContours(t *testing.T) {
+	b := imgproc.NewBinary(40, 20)
+	for x := 3; x <= 36; x++ {
+		b.Set(x, 10, true)
+	}
+	for y := 0; y < 20; y++ {
+		b.Set(20, y, true) // vertical line, must be filtered
+	}
+	segs := HorizontalContours(b, 1, 15, 0)
+	if len(segs) != 1 {
+		t.Fatalf("got %d horizontal contours, want 1: %v", len(segs), segs)
+	}
+	s := segs[0]
+	if s.Y != 10 || s.X0 > 3 || s.X1 < 36 {
+		t.Errorf("contour = %v", s)
+	}
+}
+
+func TestContoursEmptyImage(t *testing.T) {
+	b := imgproc.NewBinary(10, 10)
+	if len(VerticalContours(b, 3, 3, 0)) != 0 || len(HorizontalContours(b, 3, 3, 0)) != 0 {
+		t.Error("empty image produced contours")
+	}
+}

@@ -1,0 +1,322 @@
+// Package nn implements the small supervised-learning substrate that stands
+// in for the paper's deep models (YOLO5 for edge detection, PaddleOCR for
+// text recognition): a dense multi-layer perceptron with ReLU hidden layers,
+// a softmax cross-entropy head, Adam optimisation, minibatch training and
+// gob serialisation.
+//
+// The networks here are orders of magnitude smaller than the paper's, but
+// play the same role: they are trained purely on synthetic L-TD-G data and
+// then asked to extrapolate to the industrial-style corpus.
+package nn
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Net is a feed-forward network with ReLU hidden activations and a linear
+// output layer (softmax is applied by the loss / Predict).
+type Net struct {
+	Sizes   []int       // layer widths, len >= 2: input, hidden..., output
+	Weights [][]float64 // Weights[l] is Sizes[l+1] x Sizes[l], row-major
+	Biases  [][]float64 // Biases[l] has Sizes[l+1] entries
+}
+
+// NewNet creates a network with He-initialised weights drawn from rng.
+func NewNet(rng *rand.Rand, sizes ...int) *Net {
+	if len(sizes) < 2 {
+		panic("nn: need at least input and output sizes")
+	}
+	n := &Net{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l+1 < len(sizes); l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		std := math.Sqrt(2 / float64(in))
+		for i := range w {
+			w[i] = rng.NormFloat64() * std
+		}
+		n.Weights = append(n.Weights, w)
+		n.Biases = append(n.Biases, make([]float64, out))
+	}
+	return n
+}
+
+// NumLayers returns the number of weight layers.
+func (n *Net) NumLayers() int { return len(n.Weights) }
+
+// InputSize returns the expected feature-vector length.
+func (n *Net) InputSize() int { return n.Sizes[0] }
+
+// OutputSize returns the number of classes.
+func (n *Net) OutputSize() int { return n.Sizes[len(n.Sizes)-1] }
+
+// forward computes all layer activations. acts[0] is the input; the last
+// entry is the pre-softmax logits.
+func (n *Net) forward(x []float64) [][]float64 {
+	acts := make([][]float64, len(n.Sizes))
+	acts[0] = x
+	for l := 0; l < len(n.Weights); l++ {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		a := make([]float64, out)
+		w := n.Weights[l]
+		for o := 0; o < out; o++ {
+			sum := n.Biases[l][o]
+			row := w[o*in : (o+1)*in]
+			prev := acts[l]
+			for i, v := range row {
+				sum += v * prev[i]
+			}
+			if l+1 < len(n.Weights) { // hidden layer: ReLU
+				if sum < 0 {
+					sum = 0
+				}
+			}
+			a[o] = sum
+		}
+		acts[l+1] = a
+	}
+	return acts
+}
+
+// Logits returns the pre-softmax output for input x.
+func (n *Net) Logits(x []float64) []float64 {
+	if len(x) != n.InputSize() {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), n.InputSize()))
+	}
+	acts := n.forward(x)
+	out := acts[len(acts)-1]
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// Softmax converts logits to a probability distribution in place-safe copy.
+func Softmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(logits))
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Predict returns the argmax class and its softmax probability.
+func (n *Net) Predict(x []float64) (class int, prob float64) {
+	p := Softmax(n.Logits(x))
+	best := 0
+	for i, v := range p {
+		if v > p[best] {
+			best = i
+		}
+	}
+	return best, p[best]
+}
+
+// Sample is one labelled training example.
+type Sample struct {
+	X []float64
+	Y int // class index
+}
+
+// TrainConfig controls Train.
+type TrainConfig struct {
+	Epochs    int     // passes over the data (default 30)
+	BatchSize int     // minibatch size (default 32)
+	LR        float64 // Adam step size (default 1e-3)
+	L2        float64 // weight decay (default 0)
+	Verbose   io.Writer
+}
+
+func (c *TrainConfig) defaults() {
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 1e-3
+	}
+}
+
+// Train fits the network to samples with Adam on softmax cross-entropy.
+// It returns the mean training loss of the final epoch.
+func (n *Net) Train(rng *rand.Rand, samples []Sample, cfg TrainConfig) (float64, error) {
+	cfg.defaults()
+	if len(samples) == 0 {
+		return 0, errors.New("nn: no training samples")
+	}
+	for _, s := range samples {
+		if len(s.X) != n.InputSize() {
+			return 0, fmt.Errorf("nn: sample feature size %d, want %d", len(s.X), n.InputSize())
+		}
+		if s.Y < 0 || s.Y >= n.OutputSize() {
+			return 0, fmt.Errorf("nn: label %d out of range [0,%d)", s.Y, n.OutputSize())
+		}
+	}
+
+	// Adam state per parameter tensor.
+	mW := make([][]float64, len(n.Weights))
+	vW := make([][]float64, len(n.Weights))
+	mB := make([][]float64, len(n.Biases))
+	vB := make([][]float64, len(n.Biases))
+	for l := range n.Weights {
+		mW[l] = make([]float64, len(n.Weights[l]))
+		vW[l] = make([]float64, len(n.Weights[l]))
+		mB[l] = make([]float64, len(n.Biases[l]))
+		vB[l] = make([]float64, len(n.Biases[l]))
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	gW := make([][]float64, len(n.Weights))
+	gB := make([][]float64, len(n.Biases))
+	for l := range n.Weights {
+		gW[l] = make([]float64, len(n.Weights[l]))
+		gB[l] = make([]float64, len(n.Biases[l]))
+	}
+
+	var lastLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for l := range gW {
+				clearF(gW[l])
+				clearF(gB[l])
+			}
+			batch := idx[start:end]
+			for _, si := range batch {
+				totalLoss += n.backprop(samples[si], gW, gB)
+			}
+			scale := 1 / float64(len(batch))
+			step++
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
+			for l := range n.Weights {
+				adamUpdate(n.Weights[l], gW[l], mW[l], vW[l], scale, cfg.LR, cfg.L2, beta1, beta2, eps, bc1, bc2)
+				adamUpdate(n.Biases[l], gB[l], mB[l], vB[l], scale, cfg.LR, 0, beta1, beta2, eps, bc1, bc2)
+			}
+		}
+		lastLoss = totalLoss / float64(len(samples))
+		if cfg.Verbose != nil {
+			fmt.Fprintf(cfg.Verbose, "epoch %d: loss %.4f\n", epoch+1, lastLoss)
+		}
+	}
+	return lastLoss, nil
+}
+
+func clearF(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func adamUpdate(w, g, m, v []float64, scale, lr, l2, beta1, beta2, eps, bc1, bc2 float64) {
+	for i := range w {
+		grad := g[i]*scale + l2*w[i]
+		m[i] = beta1*m[i] + (1-beta1)*grad
+		v[i] = beta2*v[i] + (1-beta2)*grad*grad
+		w[i] -= lr * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + eps)
+	}
+}
+
+// backprop accumulates gradients for one sample and returns its loss.
+func (n *Net) backprop(s Sample, gW, gB [][]float64) float64 {
+	acts := n.forward(s.X)
+	logits := acts[len(acts)-1]
+	probs := Softmax(logits)
+	loss := -math.Log(math.Max(probs[s.Y], 1e-12))
+
+	// delta at output: softmax CE gradient.
+	delta := make([]float64, len(probs))
+	copy(delta, probs)
+	delta[s.Y] -= 1
+
+	for l := len(n.Weights) - 1; l >= 0; l-- {
+		in, out := n.Sizes[l], n.Sizes[l+1]
+		prev := acts[l]
+		w := n.Weights[l]
+		for o := 0; o < out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			gB[l][o] += d
+			row := gW[l][o*in : (o+1)*in]
+			for i := 0; i < in; i++ {
+				row[i] += d * prev[i]
+			}
+		}
+		if l > 0 {
+			nd := make([]float64, in)
+			for i := 0; i < in; i++ {
+				if prev[i] <= 0 { // ReLU gate (prev is post-activation)
+					continue
+				}
+				sum := 0.0
+				for o := 0; o < out; o++ {
+					sum += delta[o] * w[o*in+i]
+				}
+				nd[i] = sum
+			}
+			delta = nd
+		}
+	}
+	return loss
+}
+
+// Accuracy returns the fraction of samples whose predicted class matches.
+func (n *Net) Accuracy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, s := range samples {
+		if c, _ := n.Predict(s.X); c == s.Y {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(samples))
+}
+
+// Save writes the network in gob format.
+func (n *Net) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(n)
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*Net, error) {
+	var n Net
+	if err := gob.NewDecoder(r).Decode(&n); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(n.Sizes) < 2 || len(n.Weights) != len(n.Sizes)-1 {
+		return nil, errors.New("nn: load: malformed network")
+	}
+	return &n, nil
+}

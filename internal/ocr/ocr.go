@@ -1,0 +1,519 @@
+// Package ocr implements the paper's OCR module: text detection (finding
+// the annotation text boxes in a timing-diagram picture) and text
+// recognition (reading each box back into the rich-markup string it was
+// typeset from, subscripts included).
+//
+// The paper trains PaddleOCR's detector and recogniser on synthetic L-TD-G
+// crops. This implementation keeps the same contract with a template-based
+// recogniser: glyph templates start from the built-in font (the prior) and
+// are refined from labelled synthetic crops by Train, so recognition
+// quality genuinely depends on the training data. Subscript markup
+// ("t_{D(on)}") is reconstructed geometrically from glyph size and baseline
+// offset, the same cues a human reader uses.
+package ocr
+
+import (
+	"sort"
+	"strings"
+
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/font"
+	"tdmagic/internal/geom"
+	"tdmagic/internal/imgproc"
+	"tdmagic/internal/lad"
+)
+
+// Grid dimensions of the normalised glyph representation.
+const (
+	gridW = 10
+	gridH = 14
+)
+
+// Template is the learned appearance of one character.
+type Template struct {
+	Grid   []float64 // gridW×gridH mean occupancy of the tight glyph box
+	Aspect float64   // tight-box width / height
+	Count  int       // number of training crops merged in
+}
+
+// Model is a trained glyph recogniser.
+type Model struct {
+	Templates map[rune]*Template
+}
+
+// Charset returns the characters the model can emit.
+func (m *Model) Charset() []rune {
+	out := make([]rune, 0, len(m.Templates))
+	for r := range m.Templates {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// charset is the vocabulary of datasheet annotations.
+const charset = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789%()/"
+
+// NewFontModel builds the prior model by rendering every charset glyph from
+// the built-in font.
+func NewFontModel() *Model {
+	m := &Model{Templates: make(map[rune]*Template)}
+	for _, ch := range charset {
+		b := imgproc.NewBinary(font.GlyphW*4, font.GlyphH*4)
+		font.DrawGlyph(func(x, y int) { b.Set(x, y, true) }, 0, 0, ch, 4)
+		box := inkBox(b, b.Bounds())
+		if box.Empty() {
+			continue
+		}
+		m.Templates[ch] = &Template{
+			Grid:   sampleGrid(b, box),
+			Aspect: float64(box.W()) / float64(box.H()),
+			Count:  1,
+		}
+	}
+	return m
+}
+
+// inkBox returns the tight bounding box of ink within r.
+func inkBox(bw *imgproc.Binary, r geom.Rect) geom.Rect {
+	r = r.Clip(bw.Bounds())
+	out := geom.Rect{X0: r.X1 + 1, Y0: r.Y1 + 1, X1: r.X0 - 1, Y1: r.Y0 - 1}
+	for y := r.Y0; y <= r.Y1; y++ {
+		for x := r.X0; x <= r.X1; x++ {
+			if bw.At(x, y) {
+				out = out.Union(geom.Rect{X0: x, Y0: y, X1: x, Y1: y})
+			}
+		}
+	}
+	return out
+}
+
+// sampleGrid resamples the ink of box into a gridW×gridH occupancy grid.
+func sampleGrid(bw *imgproc.Binary, box geom.Rect) []float64 {
+	g := make([]float64, gridW*gridH)
+	w, h := box.W(), box.H()
+	for gy := 0; gy < gridH; gy++ {
+		for gx := 0; gx < gridW; gx++ {
+			x0 := box.X0 + gx*w/gridW
+			x1 := box.X0 + (gx+1)*w/gridW - 1
+			y0 := box.Y0 + gy*h/gridH
+			y1 := box.Y0 + (gy+1)*h/gridH - 1
+			if x1 < x0 {
+				x1 = x0
+			}
+			if y1 < y0 {
+				y1 = y0
+			}
+			n, tot := 0, 0
+			for y := y0; y <= y1; y++ {
+				for x := x0; x <= x1; x++ {
+					tot++
+					if bw.At(x, y) {
+						n++
+					}
+				}
+			}
+			if tot > 0 {
+				g[gy*gridW+gx] = float64(n) / float64(tot)
+			}
+		}
+	}
+	return g
+}
+
+// glyph is one segmented character candidate within a text line.
+type glyph struct {
+	box    geom.Rect
+	grid   []float64
+	aspect float64
+}
+
+// segmentGlyphs splits the ink inside a text box into per-character glyphs
+// using the column projection: runs of inked columns separated by blank
+// columns.
+func segmentGlyphs(bw *imgproc.Binary, box geom.Rect) []glyph {
+	box = box.Clip(bw.Bounds())
+	if box.Empty() {
+		return nil
+	}
+	colInk := make([]bool, box.W())
+	for x := box.X0; x <= box.X1; x++ {
+		for y := box.Y0; y <= box.Y1; y++ {
+			if bw.At(x, y) {
+				colInk[x-box.X0] = true
+				break
+			}
+		}
+	}
+	var glyphs []glyph
+	start := -1
+	for i := 0; i <= len(colInk); i++ {
+		inked := i < len(colInk) && colInk[i]
+		if inked && start < 0 {
+			start = i
+		} else if !inked && start >= 0 {
+			sub := geom.Rect{X0: box.X0 + start, Y0: box.Y0, X1: box.X0 + i - 1, Y1: box.Y1}
+			tight := inkBox(bw, sub)
+			if !tight.Empty() {
+				glyphs = append(glyphs, glyph{
+					box:    tight,
+					grid:   sampleGrid(bw, tight),
+					aspect: float64(tight.W()) / float64(tight.H()),
+				})
+			}
+			start = -1
+		}
+	}
+	return glyphs
+}
+
+// classify returns the best-matching character for a glyph and a confidence
+// in (0, 1] (1 = perfect template match).
+func (m *Model) classify(g glyph) (rune, float64) {
+	best := rune(0)
+	bestDist := 1e18
+	for ch, t := range m.Templates {
+		d := gridDist(g.grid, t.Grid)
+		ar := g.aspect / t.Aspect
+		if ar < 1 {
+			ar = 1 / ar
+		}
+		d += 0.35 * (ar - 1) // aspect mismatch penalty
+		if d < bestDist {
+			bestDist = d
+			best = ch
+		}
+	}
+	conf := 1 / (1 + bestDist*2.2)
+	return best, conf
+}
+
+func gridDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(len(a))
+}
+
+// Result is one recognised text box.
+type Result struct {
+	Box  geom.Rect
+	Text string
+	Conf float64
+}
+
+// readGlyph is one recognised character with its confidence and geometry.
+type readGlyph struct {
+	ch   rune
+	conf float64
+	box  geom.Rect
+}
+
+// readGlyphs segments and classifies every glyph in a text box.
+func (m *Model) readGlyphs(bw *imgproc.Binary, box geom.Rect) []readGlyph {
+	glyphs := segmentGlyphs(bw, box)
+	out := make([]readGlyph, 0, len(glyphs))
+	for _, g := range glyphs {
+		ch, conf := m.classify(g)
+		out = append(out, readGlyph{ch: ch, conf: conf, box: g.box})
+	}
+	return out
+}
+
+// assemble reconstructs the rich string of a glyph sequence, inferring
+// subscript markup from glyph size and baseline offset, and returns the
+// mean confidence.
+func assemble(glyphs []readGlyph) (string, float64) {
+	if len(glyphs) == 0 {
+		return "", 0
+	}
+	lineTop, lineBot := glyphs[0].box.Y0, glyphs[0].box.Y1
+	for _, g := range glyphs {
+		if g.box.Y0 < lineTop {
+			lineTop = g.box.Y0
+		}
+		if g.box.Y1 > lineBot {
+			lineBot = g.box.Y1
+		}
+	}
+	lineH := lineBot - lineTop + 1
+	var b strings.Builder
+	inSub := false
+	total := 0.0
+	for _, g := range glyphs {
+		total += g.conf
+		topOff := float64(g.box.Y0-lineTop) / float64(lineH)
+		relH := float64(g.box.H()) / float64(lineH)
+		sub := topOff > 0.34 && relH < 0.72
+		switch {
+		case sub && !inSub:
+			b.WriteString("_{")
+			inSub = true
+		case !sub && inSub:
+			b.WriteString("}")
+			inSub = false
+		}
+		b.WriteRune(g.ch)
+	}
+	if inSub {
+		b.WriteString("}")
+	}
+	return b.String(), total / float64(len(glyphs))
+}
+
+// RecognizeLine reads the text inside box, reconstructing subscript markup
+// from glyph geometry. It returns the rich string and the mean glyph
+// confidence.
+func (m *Model) RecognizeLine(bw *imgproc.Binary, box geom.Rect) (string, float64) {
+	return assemble(m.readGlyphs(bw, box))
+}
+
+// Train refines the model's templates from labelled synthetic samples: each
+// ground-truth text box is segmented, and when the glyph count matches the
+// markup's character count the observed grids are merged into the
+// corresponding templates (the same alignment trick CTC-style recognisers
+// exploit, applicable here because the typesetting is known).
+func (m *Model) Train(samples []*dataset.Sample) int {
+	aligned := 0
+	for _, s := range samples {
+		bw := imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))
+		for _, tb := range s.Texts {
+			chars := plainChars(tb.Text)
+			glyphs := segmentGlyphs(bw, tb.Box)
+			if len(chars) == 0 || len(glyphs) != len(chars) {
+				continue
+			}
+			aligned++
+			for i, g := range glyphs {
+				ch := chars[i]
+				t := m.Templates[ch]
+				if t == nil {
+					t = &Template{Grid: make([]float64, gridW*gridH), Aspect: g.aspect}
+					m.Templates[ch] = t
+				}
+				n := float64(t.Count)
+				for j := range t.Grid {
+					t.Grid[j] = (t.Grid[j]*n + g.grid[j]) / (n + 1)
+				}
+				t.Aspect = (t.Aspect*n + g.aspect) / (n + 1)
+				t.Count++
+			}
+		}
+	}
+	return aligned
+}
+
+// plainChars strips the subscript markup of a rich string, returning the
+// visible characters in order.
+func plainChars(s string) []rune {
+	var out []rune
+	for _, sp := range font.ParseRich(s) {
+		out = append(out, []rune(sp.Text)...)
+	}
+	return out
+}
+
+// DetectConfig controls text-region detection.
+type DetectConfig struct {
+	// MaxGlyphH / MinGlyphH bound plausible glyph heights in pixels.
+	MinGlyphH, MaxGlyphH int
+	// JoinDX is the horizontal gap within which neighbouring glyph
+	// components are clustered into one line.
+	JoinDX int
+	// MinConf drops clusters whose recognition confidence is below this
+	// (arrow heads and stroke leftovers match no template well).
+	MinConf float64
+}
+
+// DefaultDetectConfig returns parameters for the generated pictures.
+func DefaultDetectConfig() DetectConfig {
+	return DetectConfig{MinGlyphH: 4, MaxGlyphH: 40, JoinDX: 9, MinConf: 0.42}
+}
+
+// DetectRegions finds candidate text boxes: ink components that remain
+// after removing line structure, clustered into horizontal lines.
+//
+// A LAD horizontal contour can cover both a genuine annotation line and a
+// row of text that the morphological closing merged into it; blanket
+// erasure would cut the glyphs in half. Each contour column is therefore
+// erased only where its neighbourhood above and below is empty — true for
+// line stretches, false inside a text block.
+func DetectRegions(bw *imgproc.Binary, lines *lad.Result, cfg DetectConfig) []geom.Rect {
+	work := bw.Clone()
+	for _, v := range lines.V {
+		work.ClearRect(geom.Rect{X0: v.Seg.X - 2, Y0: v.Seg.Y0, X1: v.Seg.X + 2, Y1: v.Seg.Y1})
+	}
+	for _, h := range lines.H {
+		for x := h.Seg.X0; x <= h.Seg.X1; x++ {
+			neighbours := 0
+			for dx := -3; dx <= 3; dx++ {
+				for dy := 2; dy <= 6; dy++ {
+					if bw.At(x+dx, h.Seg.Y-dy) {
+						neighbours++
+					}
+					if bw.At(x+dx, h.Seg.Y+dy) {
+						neighbours++
+					}
+				}
+			}
+			if neighbours <= 1 {
+				work.ClearRect(geom.Rect{X0: x, Y0: h.Seg.Y - 2, X1: x, Y1: h.Seg.Y + 2})
+			}
+		}
+	}
+	for _, run := range imgproc.HRuns(work, 24) {
+		work.ClearRect(run.Rect())
+	}
+	for _, run := range imgproc.VRuns(work, 24) {
+		work.ClearRect(run.Rect())
+	}
+	comps := imgproc.Components(work, 2)
+	var boxes []geom.Rect
+	for _, c := range comps {
+		if c.Box.H() < cfg.MinGlyphH || c.Box.H() > cfg.MaxGlyphH || c.Box.W() > 3*cfg.MaxGlyphH {
+			continue
+		}
+		boxes = append(boxes, c.Box)
+	}
+	// Cluster into lines: merge boxes that are horizontally close and
+	// vertically overlapping.
+	for {
+		merged := false
+		for i := 0; i < len(boxes); i++ {
+			for j := i + 1; j < len(boxes); j++ {
+				a, b := boxes[i], boxes[j]
+				if a.Expand(cfg.JoinDX, 0).Overlaps(b) && vOverlap(a, b) {
+					boxes[i] = a.Union(b)
+					boxes = append(boxes[:j], boxes[j+1:]...)
+					merged = true
+					j--
+				}
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	// Lines must contain some substance.
+	var out []geom.Rect
+	for _, b := range boxes {
+		if b.W() >= 4 && b.H() >= cfg.MinGlyphH {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// vOverlap reports whether two boxes overlap vertically (sharing a line).
+func vOverlap(a, b geom.Rect) bool {
+	return a.Y0 <= b.Y1 && b.Y0 <= a.Y1
+}
+
+// ReadAll detects and recognises every text box in a picture. Leading and
+// trailing glyphs that match no template (arrow heads or stroke debris that
+// joined the cluster) are trimmed before the cluster-level confidence
+// filter, so a long label next to an arrow head survives while pure-debris
+// clusters are dropped.
+func (m *Model) ReadAll(bw *imgproc.Binary, lines *lad.Result, cfg DetectConfig) []Result {
+	const glyphTrimConf = 0.36
+	var out []Result
+	for _, box := range DetectRegions(bw, lines, cfg) {
+		glyphs := m.readGlyphs(bw, box)
+		for len(glyphs) > 0 && glyphs[0].conf < glyphTrimConf {
+			glyphs = glyphs[1:]
+		}
+		for len(glyphs) > 0 && glyphs[len(glyphs)-1].conf < glyphTrimConf {
+			glyphs = glyphs[:len(glyphs)-1]
+		}
+		text, conf := assemble(glyphs)
+		if text == "" || conf < cfg.MinConf {
+			continue
+		}
+		tight := glyphs[0].box
+		for _, g := range glyphs {
+			tight = tight.Union(g.box)
+		}
+		out = append(out, Result{Box: tight, Text: text, Conf: conf})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Box.Y0 != out[j].Box.Y0 {
+			return out[i].Box.Y0 < out[j].Box.Y0
+		}
+		return out[i].Box.X0 < out[j].Box.X0
+	})
+	return out
+}
+
+// Lexicon post-processing: snap recognised strings to the nearest known
+// vocabulary entry when the edit distance is small relative to the length.
+type Lexicon struct {
+	Entries []string
+	// MaxRatio is the maximum edit-distance / length ratio to accept a
+	// correction.
+	MaxRatio float64
+}
+
+// NewLexicon builds a lexicon from vocabulary entries.
+func NewLexicon(entries []string) *Lexicon {
+	return &Lexicon{Entries: entries, MaxRatio: 0.34}
+}
+
+// Correct returns the closest lexicon entry if it is close enough,
+// otherwise s unchanged.
+func (l *Lexicon) Correct(s string) string {
+	if l == nil || len(l.Entries) == 0 {
+		return s
+	}
+	best, bestDist := "", 1<<30
+	for _, e := range l.Entries {
+		d := editDistance(s, e)
+		if d < bestDist {
+			best, bestDist = e, d
+		}
+	}
+	n := len([]rune(s))
+	if n == 0 {
+		return s
+	}
+	if float64(bestDist)/float64(n) <= l.MaxRatio {
+		return best
+	}
+	return s
+}
+
+// editDistance is the Levenshtein distance between two strings.
+func editDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,235 @@
+// Package polytope implements the constraint-solving substrate of L-TD-G:
+// systems of linear inequalities (the paper's constraint Groups 1–3), a
+// dense two-phase simplex solver used to find a strictly interior point
+// (the Chebyshev centre), and a hit-and-run Markov-chain Monte-Carlo sampler
+// that draws approximately uniform layouts from the feasible polytope —
+// replacing the anyHR library the paper uses.
+package polytope
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned when a linear program (or constraint system) has
+// no feasible point.
+var ErrInfeasible = errors.New("polytope: infeasible")
+
+// ErrUnbounded is returned when a linear program's objective is unbounded.
+var ErrUnbounded = errors.New("polytope: unbounded")
+
+const lpEps = 1e-9
+
+// SolveLP maximises c·x subject to A x <= b and x >= 0 using the two-phase
+// tableau simplex method with Bland's anti-cycling rule. It returns the
+// optimal x and objective value, ErrInfeasible if the feasible region is
+// empty, or ErrUnbounded if the objective grows without bound.
+func SolveLP(c []float64, a [][]float64, b []float64) (x []float64, val float64, err error) {
+	m := len(a)
+	n := len(c)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, 0, errors.New("polytope: ragged constraint matrix")
+		}
+	}
+	if len(b) != m {
+		return nil, 0, errors.New("polytope: len(b) != rows of A")
+	}
+
+	// Equality form: A x + s = b with slack s >= 0. Rows with b < 0 are
+	// negated (flipping the slack sign) and receive an artificial variable
+	// so a starting basis exists.
+	nArt := 0
+	for i := range b {
+		if b[i] < 0 {
+			nArt++
+		}
+	}
+	total := n + m + nArt // structural + slack + artificial
+	t := newTableau(m, total)
+	art := make([]int, 0, nArt)
+	artCol := n + m
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if b[i] < 0 {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			t.a[i][j] = sign * a[i][j]
+		}
+		t.a[i][n+i] = sign // slack (negative when row flipped)
+		t.b[i] = sign * b[i]
+		if sign < 0 {
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			art = append(art, artCol)
+			artCol++
+		} else {
+			t.basis[i] = n + i
+		}
+	}
+
+	if nArt > 0 {
+		// Phase 1: minimise the sum of artificials, i.e. maximise -sum.
+		obj := make([]float64, total)
+		for _, j := range art {
+			obj[j] = -1
+		}
+		t.setObjective(obj)
+		if err := t.iterate(); err != nil {
+			return nil, 0, err
+		}
+		if t.objValue() < -lpEps {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i, bj := range t.basis {
+			if bj < n+m {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t.a[i][j]) > lpEps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row; harmless, leave artificial at zero.
+				_ = pivoted
+			}
+		}
+		// Remove artificial columns from consideration.
+		t.forbidden = func(j int) bool { return j >= n+m }
+	}
+
+	// Phase 2: maximise the real objective.
+	obj := make([]float64, total)
+	copy(obj, c)
+	t.setObjective(obj)
+	if err := t.iterate(); err != nil {
+		return nil, 0, err
+	}
+
+	x = make([]float64, n)
+	for i, bj := range t.basis {
+		if bj < n {
+			x[bj] = t.b[i]
+		}
+	}
+	return x, t.objValue(), nil
+}
+
+// tableau is a dense simplex tableau in equality form.
+type tableau struct {
+	m, n      int // rows, columns (all variables)
+	a         [][]float64
+	b         []float64
+	cost      []float64 // reduced costs row
+	z         float64   // current objective value
+	basis     []int     // basis[i] = variable index basic in row i
+	forbidden func(j int) bool
+}
+
+func newTableau(m, n int) *tableau {
+	t := &tableau{m: m, n: n}
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, n)
+	}
+	t.b = make([]float64, m)
+	t.cost = make([]float64, n)
+	t.basis = make([]int, m)
+	return t
+}
+
+// setObjective installs a maximisation objective and prices it out against
+// the current basis.
+func (t *tableau) setObjective(c []float64) {
+	copy(t.cost, c)
+	t.z = 0
+	for i, bj := range t.basis {
+		cb := c[bj]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.cost[j] -= cb * t.a[i][j]
+		}
+		t.z += cb * t.b[i]
+	}
+}
+
+func (t *tableau) objValue() float64 { return t.z }
+
+// iterate runs simplex pivots until optimality (no positive reduced cost)
+// or unboundedness.
+func (t *tableau) iterate() error {
+	maxIter := 200 * (t.m + t.n + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		// Bland's rule: entering variable = lowest index with positive
+		// reduced cost.
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if t.forbidden != nil && t.forbidden(j) {
+				continue
+			}
+			if t.cost[j] > lpEps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test; ties broken by lowest basis index (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > lpEps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < best-lpEps || (ratio < best+lpEps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("polytope: simplex iteration limit exceeded")
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	p := t.a[leave][enter]
+	inv := 1 / p
+	for j := 0; j < t.n; j++ {
+		t.a[leave][j] *= inv
+	}
+	t.b[leave] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.a[i][j] -= f * t.a[leave][j]
+		}
+		t.b[i] -= f * t.b[leave]
+	}
+	f := t.cost[enter]
+	if f != 0 {
+		for j := 0; j < t.n; j++ {
+			t.cost[j] -= f * t.a[leave][j]
+		}
+		t.z += f * t.b[leave]
+	}
+	t.basis[leave] = enter
+}

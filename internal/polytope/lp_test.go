@@ -1,0 +1,186 @@
+package polytope
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveLPSimple(t *testing.T) {
+	// max x + y s.t. x <= 3, y <= 4, x + y <= 5  => 5 at e.g. (1,4)..(3,2)
+	c := []float64{1, 1}
+	a := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	b := []float64{3, 4, 5}
+	x, val, err := SolveLP(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(val, 5, 1e-8) {
+		t.Errorf("val = %v, want 5", val)
+	}
+	if !approx(x[0]+x[1], 5, 1e-8) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveLPVertex(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 => x=4, y=0, val=12
+	x, val, err := SolveLP(
+		[]float64{3, 2},
+		[][]float64{{1, 1}, {1, 3}},
+		[]float64{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(val, 12, 1e-8) || !approx(x[0], 4, 1e-8) || !approx(x[1], 0, 1e-8) {
+		t.Errorf("x = %v val = %v", x, val)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	// max x s.t. -x <= 1 (x >= -1): unbounded above.
+	_, _, err := SolveLP([]float64{1}, [][]float64{{-1}}, []float64{1})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	// x <= -1 with x >= 0 implicit: infeasible.
+	_, _, err := SolveLP([]float64{1}, [][]float64{{1}}, []float64{-1})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// max -x s.t. -x <= -2 (x >= 2) and x <= 10 => x=2, val=-2.
+	// Exercises phase 1 (artificial variable).
+	x, val, err := SolveLP([]float64{-1}, [][]float64{{-1}, {1}}, []float64{-2, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 2, 1e-8) || !approx(val, -2, 1e-8) {
+		t.Errorf("x = %v val = %v", x, val)
+	}
+}
+
+func TestSolveLPDegenerate(t *testing.T) {
+	// Degenerate vertex: multiple constraints meet at optimum. Bland's rule
+	// must terminate.
+	x, val, err := SolveLP(
+		[]float64{1, 1},
+		[][]float64{{1, 0}, {0, 1}, {1, 1}, {1, 1}},
+		[]float64{2, 2, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(val, 4, 1e-8) {
+		t.Errorf("x=%v val=%v", x, val)
+	}
+}
+
+func TestSolveLPZeroObjective(t *testing.T) {
+	x, val, err := SolveLP([]float64{0, 0}, [][]float64{{1, 1}}, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != 0 || x[0] < -1e-9 || x[1] < -1e-9 {
+		t.Errorf("x=%v val=%v", x, val)
+	}
+}
+
+func TestSolveLPShapeErrors(t *testing.T) {
+	if _, _, err := SolveLP([]float64{1}, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := SolveLP([]float64{1}, [][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("b length mismatch accepted")
+	}
+}
+
+func TestSolveLPRedundantEqualityLikeRows(t *testing.T) {
+	// Two copies of the same >=-style constraint plus bounds; phase 1 must
+	// drive artificials out and still solve.
+	x, val, err := SolveLP(
+		[]float64{1},
+		[][]float64{{-1}, {-1}, {1}},
+		[]float64{-1, -1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(val, 5, 1e-8) || !approx(x[0], 5, 1e-8) {
+		t.Errorf("x=%v val=%v", x, val)
+	}
+}
+
+// TestSolveLPOptimalityProperty: on random bounded LPs, the simplex value
+// dominates the objective at any sampled feasible point.
+func TestSolveLPOptimalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(3)
+		m := n + 1 + rng.Intn(4)
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Float64() // nonnegative rows keep the region bounded
+			}
+			b[i] = 1 + rng.Float64()
+		}
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64()*2 - 0.5
+		}
+		x, val, err := SolveLP(c, a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// The reported solution must be feasible.
+		for i := range a {
+			dot := 0.0
+			for j := range x {
+				if x[j] < -1e-9 {
+					t.Fatalf("trial %d: negative coordinate %v", trial, x)
+				}
+				dot += a[i][j] * x[j]
+			}
+			if dot > b[i]+1e-7 {
+				t.Fatalf("trial %d: solution infeasible", trial)
+			}
+		}
+		// Random feasible points never beat it.
+		for probe := 0; probe < 50; probe++ {
+			p := make([]float64, n)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			ok := true
+			for i := range a {
+				dot := 0.0
+				for j := range p {
+					dot += a[i][j] * p[j]
+				}
+				if dot > b[i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			obj := 0.0
+			for j := range p {
+				obj += c[j] * p[j]
+			}
+			if obj > val+1e-7 {
+				t.Fatalf("trial %d: feasible point beats simplex: %v > %v", trial, obj, val)
+			}
+		}
+	}
+}

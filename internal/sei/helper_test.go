@@ -1,0 +1,40 @@
+package sei
+
+import (
+	"testing"
+
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/diagram"
+	"tdmagic/internal/spo"
+)
+
+// outwardSample renders a diagram whose only timing constraint uses the
+// outward-arrow idiom over a narrow span (paper Fig. 7's "6ns").
+func outwardSample(t *testing.T) *dataset.Sample {
+	t.Helper()
+	d := &diagram.Diagram{
+		Name: "outward",
+		Signals: []diagram.Signal{
+			{
+				Name: "CLK",
+				Kind: diagram.Ramp,
+				Edges: []diagram.Edge{
+					{Type: spo.RiseRamp, X0: 0.42, X1: 0.47, YLow: 0.15, YHigh: 0.85,
+						Threshold: 0.5, ThresholdText: "50%", HasEvent: true},
+					{Type: spo.FallRamp, X0: 0.53, X1: 0.58, YLow: 0.15, YHigh: 0.85,
+						Threshold: 0.5, ThresholdText: "50%", HasEvent: true},
+				},
+			},
+		},
+		Arrows: []diagram.Arrow{
+			{From: diagram.EventRef{Signal: 0, Edge: 0}, To: diagram.EventRef{Signal: 0, Edge: 1},
+				Label: "6ns", Y: 0.4, Outward: true},
+		},
+		Style: diagram.DefaultStyle(),
+	}
+	s, err := d.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,570 @@
+// Package sei implements the paper's SEI (semantic interpretation) module:
+// it consumes the edge boxes from SED, the contours from LAD and the text
+// boxes from OCR, associates events to edge boxes (Algorithm 1), associates
+// arrows to pairs of vertical lines (Algorithm 2), and generates the SPO.
+//
+// Deviations from the paper's pseudocode, both documented in DESIGN.md:
+//   - Algorithm 2 line 16 pairs *every* two vlines crossing an arrow at the
+//     same height; this implementation pairs only horizontally adjacent
+//     crossings, so an unrelated line grazing the shaft cannot create a
+//     phantom constraint.
+//   - A secondary pass recognises the outward-arrow idiom (two short
+//     inward-pointing arrows outside the measured span, paper Fig. 7) that
+//     the pseudocode does not cover but the paper's tool handles.
+package sei
+
+import (
+	"fmt"
+	"sort"
+
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/geom"
+	"tdmagic/internal/lad"
+	"tdmagic/internal/ocr"
+	"tdmagic/internal/sed"
+	"tdmagic/internal/spo"
+)
+
+// Config holds the association tolerances.
+type Config struct {
+	// Expand is the edge-box expansion of Algorithm 2 (EXPAND), letting a
+	// touching plateau count as intersecting.
+	Expand int
+	// YTol is the tolerance when comparing the two crossing heights of an
+	// arrow (Algorithm 2's y1 = y2).
+	YTol int
+	// FullSpanFrac defines FULLSPAN: a horizontal line longer than this
+	// fraction of the image width is an axis, not an arrow.
+	FullSpanFrac float64
+	// TopTol is the distance allowed between a vline's top and the edge
+	// box it takes its event from.
+	TopTol int
+	// OutwardMaxTail bounds the shaft length of outward-arrow halves.
+	OutwardMaxTail int
+	// NameLexicon, when set, snaps recognised signal names to the nearest
+	// dictionary entry (the paper's "prepared database for common signal
+	// names").
+	NameLexicon *ocr.Lexicon
+	// ValueLexicon, when set, snaps recognised threshold texts to the
+	// nearest known signal-value annotation (the paper's "empirical study
+	// on the style of annotating signal values").
+	ValueLexicon *ocr.Lexicon
+}
+
+// DefaultConfig returns tolerances for the generated pictures.
+func DefaultConfig() Config {
+	return Config{
+		Expand:         6,
+		YTol:           3,
+		FullSpanFrac:   0.75,
+		TopTol:         8,
+		OutwardMaxTail: 40,
+	}
+}
+
+// Input bundles the upstream module outputs.
+type Input struct {
+	Width, Height int
+	Edges         []sed.Detection
+	Lines         *lad.Result
+	Texts         []ocr.Result
+}
+
+// Event is one edge-box/vertical-line association (Algorithm 1 output).
+type Event struct {
+	X, Y   int // the threshold crossing point
+	BoxIdx int // index into Input.Edges
+	VLine  geom.VSeg
+	HLine  *geom.HSeg // the threshold line used, nil for step edges
+}
+
+// Output is the full semantic interpretation.
+type Output struct {
+	SPO *spo.SPO
+	// Classified annotation structure, for Table II scoring.
+	VLines []geom.VSeg
+	HLines []geom.HSeg
+	Arrows []dataset.Arrow
+	// Role-classified texts, for Table III scoring.
+	Names       []ocr.Result
+	Values      []ocr.Result
+	Constraints []ocr.Result
+	// Events lists every edge-box event found by Algorithm 1.
+	Events []Event
+}
+
+// Interpret runs the full semantic analysis.
+func Interpret(in Input, cfg Config) (*Output, error) {
+	out := &Output{}
+
+	// Per-signal partition of edge boxes (defines signal index and edge
+	// index of every event).
+	sed.SortDetections(in.Edges)
+	groups := sed.Partition(in.Edges)
+
+	// Algorithm 1: edge-box-event association.
+	out.Events = edgeBoxEvents(in, cfg)
+
+	// Algorithm 2: arrow association.
+	arrows := arrowAssociate(in, cfg)
+
+	// Classify texts by role.
+	names, values, constraints := classifyTexts(in, arrows, cfg)
+	out.Names, out.Values, out.Constraints = names, values, constraints
+
+	// Classified lines for scoring: V-lines are lines carrying an event or
+	// an arrow endpoint; H-lines are the dashed threshold lines crossing an
+	// edge box (whether or not they mark an event — dense annotations count
+	// too).
+	out.VLines = eventVLines(out.Events, arrows)
+	for _, h := range in.Lines.H {
+		if !lad.Dashed(h.Density) {
+			continue
+		}
+		for _, b := range in.Edges {
+			if h.Seg.Y >= b.Box.Y0-2 && h.Seg.Y <= b.Box.Y1+2 &&
+				h.Seg.X1 >= b.Box.X0 && h.Seg.X0 <= b.Box.X1 {
+				out.HLines = appendHSegUnique(out.HLines, h.Seg)
+				break
+			}
+		}
+	}
+
+	// SPO generation.
+	p, labelled, err := buildSPO(in, cfg, groups, out.Events, arrows, names, values, constraints)
+	if err != nil {
+		return nil, err
+	}
+	out.SPO = p
+	out.Arrows = labelled
+	return out, nil
+}
+
+// edgeBoxEvents implements Algorithm 1. An event is created for every
+// vertical line whose top lies in (or near) an edge box; the event point is
+// the crossing with a threshold H-line inside the box (FINDHLINE) or the
+// box centre for step-like boxes.
+func edgeBoxEvents(in Input, cfg Config) []Event {
+	var events []Event
+	for bi, b := range in.Edges {
+		for _, v := range in.Lines.V {
+			box := b.Box.Expand(2, cfg.TopTol)
+			if v.Seg.X < box.X0 || v.Seg.X > box.X1 {
+				continue
+			}
+			// The line must start at this box: tops far above it belong
+			// to a signal higher up.
+			if v.Seg.Y0 < box.Y0 || v.Seg.Y0 > box.Y1 {
+				continue
+			}
+			// An event line runs down towards the annotation band; a
+			// vertical contour confined to the box is the stroke of a
+			// step edge itself, not an annotation.
+			if v.Seg.Y1 < b.Box.Y1+10 {
+				continue
+			}
+			x := v.Seg.X
+			y, h := findHLine(in, b.Box, x)
+			events = append(events, Event{X: x, Y: y, BoxIdx: bi, VLine: v.Seg, HLine: h})
+		}
+	}
+	return events
+}
+
+// findHLine implements FINDHLINE: it looks for a dashed threshold line
+// crossing column x inside box b and returns the crossing row; without one
+// it falls back to the box centre.
+func findHLine(in Input, b geom.Rect, x int) (int, *geom.HSeg) {
+	for i := range in.Lines.H {
+		h := in.Lines.H[i]
+		if !lad.Dashed(h.Density) {
+			continue
+		}
+		if h.Seg.Y < b.Y0-2 || h.Seg.Y > b.Y1+2 {
+			continue
+		}
+		if x < h.Seg.X0 || x > h.Seg.X1 {
+			continue
+		}
+		// The line must actually cross the box horizontally.
+		if h.Seg.X1 < b.X0 || h.Seg.X0 > b.X1 {
+			continue
+		}
+		return h.Seg.Y, &h.Seg
+	}
+	return b.CenterY(), nil
+}
+
+// crossing is one (arrow, vline) intersection of Algorithm 2.
+type crossing struct {
+	v geom.VSeg
+	y int
+}
+
+// rawArrow is an unlabelled detected arrow.
+type rawArrow struct {
+	y      int
+	x0, x1 int
+}
+
+// arrowAssociate implements Algorithm 2 plus the outward-arrow pass.
+func arrowAssociate(in Input, cfg Config) []rawArrow {
+	fullSpan := int(cfg.FullSpanFrac * float64(in.Width))
+	var candidates []geom.HSeg
+	for _, h := range in.Lines.H {
+		if h.Seg.Len() >= fullSpan {
+			continue // FULLSPAN: axis
+		}
+		touches := false
+		for _, b := range in.Edges {
+			if b.Box.Expand(cfg.Expand, cfg.Expand).Overlaps(h.Seg.Rect()) {
+				touches = true
+				break
+			}
+		}
+		if touches {
+			continue // plateau, rail or threshold line
+		}
+		candidates = append(candidates, h.Seg)
+	}
+
+	var arrows []rawArrow
+	var halves []geom.HSeg // candidates anchored to a vline at one end only
+	for _, h := range candidates {
+		// An arrow's shaft runs between the two vertical lines it
+		// measures: both endpoints anchor on a vline. Interior crossings
+		// (another event's line passing through the shaft) are
+		// incidental and ignored.
+		v0 := vlineNear(in, h.X0, h.Y, cfg.YTol)
+		v1 := vlineNear(in, h.X1, h.Y, cfg.YTol)
+		switch {
+		case v0 != nil && v1 != nil && v0.X < v1.X:
+			arrows = append(arrows, rawArrow{y: h.Y, x0: v0.X, x1: v1.X})
+		case (v0 != nil) != (v1 != nil) && h.Len() <= cfg.OutwardMaxTail:
+			halves = append(halves, h)
+		}
+	}
+
+	// Outward-arrow pass: two short halves at the same height, each
+	// crossing one vline, spanning a gap between adjacent vlines.
+	for i := 0; i < len(halves); i++ {
+		for j := i + 1; j < len(halves); j++ {
+			a, b := halves[i], halves[j]
+			if geom.Abs(a.Y-b.Y) > cfg.YTol {
+				continue
+			}
+			if a.X0 > b.X0 {
+				a, b = b, a
+			}
+			// a must end at a vline and b start at another, with the
+			// measured span between them.
+			va := vlineNear(in, a.X1, a.Y, cfg.YTol)
+			vb := vlineNear(in, b.X0, b.Y, cfg.YTol)
+			if va == nil || vb == nil || va.X >= vb.X {
+				continue
+			}
+			arrows = append(arrows, rawArrow{y: a.Y, x0: va.X, x1: vb.X})
+		}
+	}
+
+	// Deduplicate.
+	sort.Slice(arrows, func(i, j int) bool {
+		if arrows[i].y != arrows[j].y {
+			return arrows[i].y < arrows[j].y
+		}
+		return arrows[i].x0 < arrows[j].x0
+	})
+	var uniq []rawArrow
+	for _, a := range arrows {
+		dup := false
+		for _, u := range uniq {
+			if geom.Abs(u.y-a.y) <= cfg.YTol && geom.Abs(u.x0-a.x0) <= 2 && geom.Abs(u.x1-a.x1) <= 2 {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, a)
+		}
+	}
+	return uniq
+}
+
+// extendV slightly lengthens a vline for crossing tests (shaft rows can sit
+// a pixel or two below a line's detected end).
+func extendV(v geom.VSeg, tol int) geom.VSeg {
+	return geom.VSeg{X: v.X, Y0: v.Y0 - tol, Y1: v.Y1 + tol}
+}
+
+// vlineNear returns the vline whose column is within tol of x and whose
+// span covers row y (tolerantly), or nil.
+func vlineNear(in Input, x, y, tol int) *geom.VSeg {
+	for i := range in.Lines.V {
+		v := in.Lines.V[i].Seg
+		if geom.Abs(v.X-x) <= tol+2 && y >= v.Y0-tol && y <= v.Y1+tol {
+			return &v
+		}
+	}
+	return nil
+}
+
+// classifyTexts assigns roles by position: texts sitting at the left end of
+// a dashed threshold line are signal values even in the left margin,
+// far-left texts are signal names, texts just above an arrow span are
+// timing constraints, and the rest are signal values (thresholds, boundary
+// values).
+func classifyTexts(in Input, arrows []rawArrow, cfg Config) (names, values, constraints []ocr.Result) {
+	leftMargin := in.Width * 13 / 100
+	for _, t := range in.Texts {
+		cx := t.Box.CenterX()
+		switch {
+		case isThresholdLabel(t.Box, in):
+			values = append(values, t)
+		case t.Box.X0 < leftMargin && cx < leftMargin*3/2:
+			names = append(names, t)
+		case isConstraintLabel(t.Box, arrows):
+			constraints = append(constraints, t)
+		default:
+			values = append(values, t)
+		}
+	}
+	return names, values, constraints
+}
+
+// isThresholdLabel reports whether a text box sits immediately beside a
+// dashed horizontal line at the same height — the threshold annotation
+// position (either end of the line).
+func isThresholdLabel(box geom.Rect, in Input) bool {
+	for _, h := range in.Lines.H {
+		if !lad.Dashed(h.Density) {
+			continue
+		}
+		if geom.Abs(box.CenterY()-h.Seg.Y) > 8 {
+			continue
+		}
+		leftGap := h.Seg.X0 - box.X1
+		if leftGap >= -12 && leftGap <= 30 && h.Seg.X1 > box.X1+20 {
+			return true
+		}
+		rightGap := box.X0 - h.Seg.X1
+		if rightGap >= -12 && rightGap <= 30 && h.Seg.X0 < box.X0-20 {
+			return true
+		}
+	}
+	return false
+}
+
+// isConstraintLabel reports whether a text box sits just above an arrow,
+// inside its span.
+func isConstraintLabel(box geom.Rect, arrows []rawArrow) bool {
+	cx := box.CenterX()
+	for _, a := range arrows {
+		if cx >= a.x0 && cx <= a.x1 && box.Y1 <= a.y && box.Y1 >= a.y-28 {
+			return true
+		}
+	}
+	return false
+}
+
+// eventVLines collects the unique vertical lines that carry an event or an
+// arrow endpoint.
+func eventVLines(events []Event, arrows []rawArrow) []geom.VSeg {
+	var out []geom.VSeg
+	add := func(v geom.VSeg) {
+		for _, u := range out {
+			if u == v {
+				return
+			}
+		}
+		out = append(out, v)
+	}
+	for _, e := range events {
+		add(e.VLine)
+	}
+	_ = arrows
+	return out
+}
+
+func appendHSegUnique(segs []geom.HSeg, s geom.HSeg) []geom.HSeg {
+	for _, u := range segs {
+		if u == s {
+			return segs
+		}
+	}
+	return append(segs, s)
+}
+
+// buildSPO generates the SPO: one node per unique vline referenced by a
+// timing constraint (paper Sec. V.3), attributed through its edge-box event;
+// one constraint per arrow, ordered left to right.
+func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
+	arrows []rawArrow, names, values, constraints []ocr.Result) (*spo.SPO, []dataset.Arrow, error) {
+
+	// Map each edge box to (signal index, edge index within signal).
+	type sigPos struct{ signal, edge int }
+	boxPos := map[int]sigPos{}
+	for si, g := range groups {
+		for ei, d := range g {
+			for bi := range in.Edges {
+				if in.Edges[bi].Box == d.Box && in.Edges[bi].Type == d.Type {
+					boxPos[bi] = sigPos{signal: si, edge: ei + 1}
+				}
+			}
+		}
+	}
+
+	// Signal names: nearest name text to each group's vertical centre.
+	groupName := make([]string, len(groups))
+	for si, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		y0, y1 := g[0].Box.Y0, g[0].Box.Y1
+		for _, d := range g {
+			if d.Box.Y0 < y0 {
+				y0 = d.Box.Y0
+			}
+			if d.Box.Y1 > y1 {
+				y1 = d.Box.Y1
+			}
+		}
+		cy := (y0 + y1) / 2
+		best, bestD := "", 1<<30
+		for _, n := range names {
+			if d := geom.Abs(n.Box.CenterY() - cy); d < bestD {
+				best, bestD = n.Text, d
+			}
+		}
+		if best == "" {
+			best = fmt.Sprintf("S%d", si+1)
+		} else if cfg.NameLexicon != nil {
+			best = cfg.NameLexicon.Correct(best)
+		}
+		groupName[si] = best
+	}
+
+	// Events used by arrows, deduplicated by vline column.
+	type nodeInfo struct {
+		x     int
+		event *Event
+	}
+	nodeByX := map[int]*nodeInfo{}
+	findEvent := func(x int) *Event {
+		for i := range events {
+			if geom.Abs(events[i].X-x) <= 2 {
+				return &events[i]
+			}
+		}
+		return nil
+	}
+	for _, a := range arrows {
+		for _, x := range []int{a.x0, a.x1} {
+			if _, ok := nodeByX[x]; !ok {
+				nodeByX[x] = &nodeInfo{x: x, event: findEvent(x)}
+			}
+		}
+	}
+	xs := make([]int, 0, len(nodeByX))
+	for x := range nodeByX {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+
+	p := &spo.SPO{}
+	nodeIdx := map[int]int{}
+	for _, x := range xs {
+		ni := nodeByX[x]
+		node := spo.Node{Signal: "?", EdgeIndex: 0, Type: spo.RiseStep, Threshold: spo.NoThreshold}
+		if ni.event != nil {
+			b := in.Edges[ni.event.BoxIdx]
+			node.Type = b.Type
+			if pos, ok := boxPos[ni.event.BoxIdx]; ok {
+				node.Signal = groupName[pos.signal]
+				node.EdgeIndex = pos.edge
+			}
+			if !b.Type.IsStep() {
+				th := thresholdText(ni.event, values)
+				if th != "?" && cfg.ValueLexicon != nil {
+					th = cfg.ValueLexicon.Correct(th)
+				}
+				node.Threshold = th
+			}
+		}
+		nodeIdx[x] = p.AddNode(node)
+	}
+
+	var labelled []dataset.Arrow
+	for _, a := range arrows {
+		x0, x1 := a.x0, a.x1
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		label := arrowLabel(a, constraints)
+		if err := p.AddConstraint(nodeIdx[x0], nodeIdx[x1], label); err != nil {
+			return nil, nil, err
+		}
+		labelled = append(labelled, dataset.Arrow{Y: a.y, X0: x0, X1: x1, Label: label})
+	}
+	if err := p.Validate(); err != nil {
+		// A cyclic or degenerate interpretation is a structural failure:
+		// report it rather than emit a non-SPO.
+		return nil, nil, fmt.Errorf("sei: interpretation is not a strict partial order: %w", err)
+	}
+	return p, labelled, nil
+}
+
+// thresholdText finds the printed threshold of an event: the value text
+// closest to the event's threshold line, to its left.
+func thresholdText(e *Event, values []ocr.Result) string {
+	if e.HLine == nil {
+		return "?"
+	}
+	best, bestD := "?", 1<<30
+	for _, v := range values {
+		dy := geom.Abs(v.Box.CenterY() - e.HLine.Y)
+		if dy > 8 {
+			continue
+		}
+		// Labels sit at either end of the line; the detected contour may
+		// have absorbed the label itself, so allow some overlap.
+		var dx int
+		switch {
+		case v.Box.X0 <= e.HLine.X0: // left side
+			dx = e.HLine.X0 - v.Box.X1
+		case v.Box.X1 >= e.HLine.X1: // right side
+			dx = v.Box.X0 - e.HLine.X1
+		default:
+			continue // inside the line span: not a threshold label
+		}
+		if dx > 60 || dx < -40 {
+			continue
+		}
+		if dx < 0 {
+			dx = 0
+		}
+		if d := dy*4 + dx; d < bestD {
+			best, bestD = v.Text, d
+		}
+	}
+	return best
+}
+
+// arrowLabel finds the timing-parameter text of an arrow: the constraint
+// text just above the shaft, inside its span.
+func arrowLabel(a rawArrow, constraints []ocr.Result) string {
+	best, bestD := "t?", 1<<30
+	for _, c := range constraints {
+		cx := c.Box.CenterX()
+		if cx < a.x0 || cx > a.x1 {
+			continue
+		}
+		dy := a.y - c.Box.Y1
+		if dy < 0 || dy > 28 {
+			continue
+		}
+		if dy < bestD {
+			best, bestD = c.Text, dy
+		}
+	}
+	return best
+}

@@ -1,0 +1,115 @@
+package spo
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the textual specification format produced by SpecText
+// back into an SPO:
+//
+//	n1 = (V_{INA}, 1, riseStep, None)
+//	n2 = (V_{OUTA}, 1, riseRamp, 90%)
+//	e1 = (n1, t_{D(on)}, n2)
+//
+// Blank lines and lines starting with '#' are ignored. Node lines must
+// precede the constraint lines that reference them.
+func ParseSpec(text string) (*SPO, error) {
+	p := &SPO{}
+	nodeIdx := map[string]int{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, fields, err := splitSpecLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("spo: line %d: %w", lineNo, err)
+		}
+		switch {
+		case strings.HasPrefix(name, "n"):
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("spo: line %d: node needs 4 fields, got %d", lineNo, len(fields))
+			}
+			ei, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("spo: line %d: edge index: %w", lineNo, err)
+			}
+			et, err := ParseEdgeType(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("spo: line %d: %w", lineNo, err)
+			}
+			if _, dup := nodeIdx[name]; dup {
+				return nil, fmt.Errorf("spo: line %d: duplicate node %s", lineNo, name)
+			}
+			nodeIdx[name] = p.AddNode(Node{
+				Signal: fields[0], EdgeIndex: ei, Type: et, Threshold: fields[3],
+			})
+		case strings.HasPrefix(name, "e"):
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("spo: line %d: constraint needs 3 fields, got %d", lineNo, len(fields))
+			}
+			src, ok := nodeIdx[fields[0]]
+			if !ok {
+				return nil, fmt.Errorf("spo: line %d: unknown node %q", lineNo, fields[0])
+			}
+			dst, ok := nodeIdx[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("spo: line %d: unknown node %q", lineNo, fields[2])
+			}
+			if err := p.AddConstraint(src, dst, fields[1]); err != nil {
+				return nil, fmt.Errorf("spo: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("spo: line %d: expected nK or eK, got %q", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// splitSpecLine decomposes `name = (a, b, c)` into the name and the comma-
+// separated fields. Commas inside braces or parentheses (subscript markup,
+// "t_{D(on)}") do not split.
+func splitSpecLine(line string) (name string, fields []string, err error) {
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return "", nil, fmt.Errorf("missing '='")
+	}
+	name = strings.TrimSpace(line[:eq])
+	rest := strings.TrimSpace(line[eq+1:])
+	if len(rest) < 2 || rest[0] != '(' || rest[len(rest)-1] != ')' {
+		return "", nil, fmt.Errorf("expected parenthesised tuple, got %q", rest)
+	}
+	body := rest[1 : len(rest)-1]
+	depth := 0
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '(', '{':
+			depth++
+		case ')', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				fields = append(fields, strings.TrimSpace(body[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	fields = append(fields, strings.TrimSpace(body[start:]))
+	if depth != 0 {
+		return "", nil, fmt.Errorf("unbalanced brackets in %q", rest)
+	}
+	return name, fields, nil
+}

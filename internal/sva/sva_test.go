@@ -1,0 +1,132 @@
+package sva
+
+import (
+	"strings"
+	"testing"
+
+	"tdmagic/internal/monitor"
+	"tdmagic/internal/spo"
+)
+
+func example1() *spo.SPO {
+	p := &spo.SPO{}
+	n1 := p.AddNode(spo.Node{Signal: "V_{INA}", EdgeIndex: 1, Type: spo.RiseStep})
+	n2 := p.AddNode(spo.Node{Signal: "V_{OUTA}", EdgeIndex: 1, Type: spo.RiseRamp, Threshold: "90%"})
+	n3 := p.AddNode(spo.Node{Signal: "V_{INA}", EdgeIndex: 2, Type: spo.FallStep})
+	n4 := p.AddNode(spo.Node{Signal: "V_{OUTA}", EdgeIndex: 2, Type: spo.FallRamp, Threshold: "10%"})
+	_ = p.AddConstraint(n1, n2, "t_{D(on)}")
+	_ = p.AddConstraint(n3, n4, "t_{D(off)}")
+	return p
+}
+
+func TestExportExample1(t *testing.T) {
+	src, err := Export(example1(), map[string]monitor.Bounds{
+		"t_{D(on)}":  {Min: 2, Max: 40},
+		"t_{D(off)}": {Min: 2, Max: 40},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"property p_t_D_on",
+		"@(posedge clk) $rose(V_INA) |-> ##[2:40] $rose(V_OUTA_90pct);",
+		"$fell(V_INA) |-> ##[2:40] $fell(V_OUTA_10pct);",
+		"assert_t_D_on: assert property (p_t_D_on);",
+		"wire V_OUTA_90pct;",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestExportUnboundedWindow(t *testing.T) {
+	src, err := Export(example1(), map[string]monitor.Bounds{
+		"t_{D(on)}": {Min: 3}, // no max
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "##[3:$]") {
+		t.Errorf("min-only window missing:\n%s", src)
+	}
+}
+
+func TestExportNoBounds(t *testing.T) {
+	src, err := Export(example1(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(src, "##[1:$]") != 2 {
+		t.Errorf("expected two unbounded windows:\n%s", src)
+	}
+}
+
+func TestExportModule(t *testing.T) {
+	src, err := Export(example1(), nil, Options{ModuleName: "td_checker", Clock: "sclk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module td_checker(input logic sclk",
+		"input logic V_INA",
+		"input logic V_OUTA_90pct",
+		"endmodule",
+		"@(posedge sclk)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestExportCyclesPerUnit(t *testing.T) {
+	src, err := Export(example1(), map[string]monitor.Bounds{
+		"t_{D(on)}": {Min: 1, Max: 2},
+	}, Options{CyclesPerUnit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "##[10:20]") {
+		t.Errorf("cycle scaling missing:\n%s", src)
+	}
+}
+
+func TestExportInvalidSPO(t *testing.T) {
+	p := &spo.SPO{}
+	a := p.AddNode(spo.Node{Signal: "X", EdgeIndex: 1, Type: spo.RiseStep})
+	p.Constraints = append(p.Constraints, spo.Constraint{Src: a, Dst: a})
+	if _, err := Export(p, nil, Options{}); err == nil {
+		t.Error("invalid SPO accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"V_{INA}":    "V_INA",
+		"t_{D(on)}":  "t_D_on",
+		"90%":        "90pct",
+		"6ns":        "6ns",
+		"t_{su(D)}":  "t_su_D",
+		"__weird__%": "weird_pct",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDoubleEventUsesRose(t *testing.T) {
+	p := &spo.SPO{}
+	n1 := p.AddNode(spo.Node{Signal: "SI", EdgeIndex: 1, Type: spo.Double, Threshold: "50%"})
+	n2 := p.AddNode(spo.Node{Signal: "SCK", EdgeIndex: 1, Type: spo.RiseRamp, Threshold: "50%"})
+	_ = p.AddConstraint(n1, n2, "t_{s}")
+	src, err := Export(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "$rose(SI_50pct)") {
+		t.Errorf("double event expr wrong:\n%s", src)
+	}
+}

@@ -1,0 +1,241 @@
+package tdgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/spo"
+)
+
+func TestModeString(t *testing.T) {
+	if G1.String() != "G1" || G2.String() != "G2" || G3.String() != "G3" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode empty")
+	}
+}
+
+func TestGenerateG1Basics(t *testing.T) {
+	g := New(DefaultConfig(G1), rand.New(rand.NewSource(1)))
+	for i := 0; i < 10; i++ {
+		s, err := g.Generate()
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if s.Image == nil || s.Image.W == 0 {
+			t.Fatal("no image")
+		}
+		if len(s.Edges) != 4 {
+			t.Errorf("sample %d: %d edge boxes, want 4 (two signals, two edges)", i, len(s.Edges))
+		}
+		if len(s.Arrows) == 0 {
+			t.Errorf("sample %d: no arrows", i)
+		}
+		if s.Truth == nil || len(s.Truth.Constraints) != len(s.Arrows) {
+			t.Errorf("sample %d: SPO constraints %d != arrows %d", i, len(s.Truth.Constraints), len(s.Arrows))
+		}
+		if err := s.Truth.Validate(); err != nil {
+			t.Errorf("sample %d: invalid ground-truth SPO: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateG2SingleSignal(t *testing.T) {
+	g := New(DefaultConfig(G2), rand.New(rand.NewSource(2)))
+	for i := 0; i < 5; i++ {
+		s, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Edges) != 2 {
+			t.Errorf("G2 sample has %d edges, want 2", len(s.Edges))
+		}
+		sigs := map[int]bool{}
+		for _, e := range s.Edges {
+			sigs[e.Signal] = true
+		}
+		if len(sigs) != 1 {
+			t.Error("G2 sample has more than one signal")
+		}
+	}
+}
+
+func TestGenerateG3RampFocus(t *testing.T) {
+	g := New(DefaultConfig(G3), rand.New(rand.NewSource(3)))
+	counts := map[spo.EdgeType]int{}
+	for i := 0; i < 30; i++ {
+		s, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range s.Edges {
+			counts[e.Type]++
+		}
+	}
+	steps := counts[spo.RiseStep] + counts[spo.FallStep]
+	ramps := counts[spo.RiseRamp] + counts[spo.FallRamp] + counts[spo.Double]
+	if steps > 0 {
+		t.Errorf("G3 produced %d step edges; should focus on ramps", steps)
+	}
+	if ramps == 0 {
+		t.Error("G3 produced no ramp edges")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	mk := func() *dataset.Sample {
+		g := New(DefaultConfig(G1), rand.New(rand.NewSource(42)))
+		s, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	if a.Name != b.Name || len(a.Edges) != len(b.Edges) {
+		t.Fatal("structure differs under same seed")
+	}
+	for i := range a.Image.Pix {
+		if a.Image.Pix[i] != b.Image.Pix[i] {
+			t.Fatal("pixels differ under same seed")
+		}
+	}
+}
+
+func TestGenerateNCount(t *testing.T) {
+	g := New(DefaultConfig(G1), rand.New(rand.NewSource(5)))
+	samples, err := g.GenerateN(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 7 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	names := map[string]bool{}
+	for _, s := range samples {
+		if names[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+}
+
+func TestEdgeTypeDistribution(t *testing.T) {
+	// The G1 kind weights should make ramps dominate, doubles rare
+	// (paper Table I: 388/388/79/79/66).
+	g := New(DefaultConfig(G1), rand.New(rand.NewSource(7)))
+	samples, err := g.GenerateN(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := dataset.CountEdgeTypes(samples)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	ramps := float64(counts[spo.RiseRamp]+counts[spo.FallRamp]) / float64(total)
+	if ramps < 0.5 {
+		t.Errorf("ramp fraction %v, want > 0.5", ramps)
+	}
+	if counts[spo.Double] == 0 {
+		t.Error("no double edges in 60 samples")
+	}
+	// Paired types appear in equal numbers per signal construction.
+	if counts[spo.RiseRamp] != counts[spo.FallRamp] {
+		t.Errorf("rise/fall ramp imbalance: %d vs %d", counts[spo.RiseRamp], counts[spo.FallRamp])
+	}
+}
+
+func TestInterCaseCoverage(t *testing.T) {
+	// All five inter-relation cases should occur across many samples:
+	// identified by the SPO constraint pattern between the two signals.
+	g := New(DefaultConfig(G1), rand.New(rand.NewSource(11)))
+	seenCounts := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		s, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		inter := 0
+		for _, c := range s.Truth.Constraints {
+			if s.Truth.Nodes[c.Src].Signal != s.Truth.Nodes[c.Dst].Signal {
+				inter++
+			}
+		}
+		seenCounts[inter] = true
+	}
+	if !seenCounts[1] || !seenCounts[2] {
+		t.Errorf("inter-arrow counts seen: %v, want both 1 and 2", seenCounts)
+	}
+}
+
+func TestArrowsLeftToRight(t *testing.T) {
+	g := New(DefaultConfig(G1), rand.New(rand.NewSource(13)))
+	for i := 0; i < 20; i++ {
+		s, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range s.Arrows {
+			if a.X0 >= a.X1 {
+				t.Errorf("arrow not left-to-right: %+v", a)
+			}
+		}
+		// Constraint sources precede destinations in global node order
+		// (nodes are sorted left to right).
+		for _, c := range s.Truth.Constraints {
+			if c.Src >= c.Dst {
+				t.Errorf("constraint not ordered: %+v", c)
+			}
+		}
+	}
+}
+
+func TestDistinctLabelsPerDiagram(t *testing.T) {
+	g := New(DefaultConfig(G1), rand.New(rand.NewSource(17)))
+	for i := 0; i < 15; i++ {
+		s, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, a := range s.Arrows {
+			if seen[a.Label] {
+				t.Errorf("duplicate delay label %q in one diagram", a.Label)
+			}
+			seen[a.Label] = true
+		}
+	}
+}
+
+func TestTextRolesPresent(t *testing.T) {
+	g := New(DefaultConfig(G1), rand.New(rand.NewSource(19)))
+	samples, err := g.GenerateN(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := map[dataset.TextRole]int{}
+	for _, s := range samples {
+		for _, tb := range s.Texts {
+			roles[tb.Role]++
+		}
+	}
+	if roles[dataset.RoleSignalName] == 0 || roles[dataset.RoleTimeConstraint] == 0 {
+		t.Errorf("roles missing: %v", roles)
+	}
+}
+
+func TestVLinesMatchEvents(t *testing.T) {
+	g := New(DefaultConfig(G1), rand.New(rand.NewSource(23)))
+	for i := 0; i < 10; i++ {
+		s, err := g.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.VLines) != len(s.Truth.Nodes) {
+			t.Errorf("vlines %d != SPO nodes %d", len(s.VLines), len(s.Truth.Nodes))
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package tdl implements a compact, line-oriented text language for
+// authoring timing diagrams, in the spirit of WaveDrom/wavedrom-style
+// waveform descriptions. A .td file parses into a diagram.Diagram, which
+// renders into the same labelled pictures the rest of the system consumes —
+// so a hand-written description can be rasterised, translated back by the
+// pipeline, and the two specifications compared.
+//
+// Syntax (one directive per line, '#' comments):
+//
+//	width 900
+//	height 540
+//	axes
+//	noise 40 7
+//	signal V_{INA} digital
+//	  rise 0.10 0.16 *
+//	  fall 0.55 0.61 *
+//	signal V_{OUTA} ramp low=0.1 high=0.9 bounds=V_{CC}/GND
+//	  rise 0.20 0.38 @90% *
+//	  fall 0.65 0.85 @10% *
+//	arrow V_{INA}.1 -> V_{OUTA}.1 t_{D(on)} row=0.3
+//	arrow V_{INA}.2 -> V_{OUTA}.2 t_{D(off)} row=0.7 outward
+//
+// Edge directives belong to the most recent signal: rise/fall/double with
+// the horizontal extent as fractions of the plot width, an optional
+// @-threshold ("@90%" or "@0.42:Vth" for a custom level/text pair), '*' to
+// mark the edge as carrying an event, and 'thick' for the thick-stroke
+// corner case. Arrows reference events as SIGNAL.EDGEINDEX (1-based).
+package tdl
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tdmagic/internal/diagram"
+	"tdmagic/internal/spo"
+)
+
+// parser carries per-parse state: the diagram under construction, the
+// index of the current signal, and its default levels.
+type parser struct {
+	d      *diagram.Diagram
+	cur    int // index into d.Signals, -1 before the first signal
+	lo, hi float64
+}
+
+// Parse reads a .td description into a diagram.
+func Parse(text string) (*diagram.Diagram, error) {
+	p := &parser{
+		d:   &diagram.Diagram{Style: diagram.DefaultStyle(), Name: "tdl"},
+		cur: -1,
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if err := p.directive(strings.Fields(line)); err != nil {
+			return nil, fmt.Errorf("tdl: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := p.d.Validate(); err != nil {
+		return nil, fmt.Errorf("tdl: %w", err)
+	}
+	return p.d, nil
+}
+
+// directive dispatches one parsed line.
+func (p *parser) directive(f []string) error {
+	d := p.d
+	switch f[0] {
+	case "name":
+		if len(f) != 2 {
+			return fmt.Errorf("name needs one argument")
+		}
+		d.Name = f[1]
+		return nil
+	case "width", "height":
+		if len(f) != 2 {
+			return fmt.Errorf("%s needs one integer", f[0])
+		}
+		v, err := strconv.Atoi(f[1])
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad %s %q", f[0], f[1])
+		}
+		if f[0] == "width" {
+			d.Style.Width = v
+		} else {
+			d.Style.Height = v
+		}
+		return nil
+	case "axes":
+		d.Style.ShowAxes = true
+		return nil
+	case "noise":
+		if len(f) != 3 {
+			return fmt.Errorf("noise needs dots and seed")
+		}
+		dots, err1 := strconv.Atoi(f[1])
+		seed, err2 := strconv.ParseInt(f[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad noise arguments")
+		}
+		d.Style.NoiseDots, d.Style.NoiseSeed = dots, seed
+		return nil
+	case "signal":
+		return p.signalDirective(f)
+	case "rise", "fall", "double":
+		return p.edgeDirective(f)
+	case "arrow":
+		return arrowDirective(d, f)
+	default:
+		return fmt.Errorf("unknown directive %q", f[0])
+	}
+}
+
+// signalDirective parses `signal NAME KIND [low=F] [high=F] [bounds=H/L]`.
+func (p *parser) signalDirective(f []string) error {
+	if len(f) < 3 {
+		return fmt.Errorf("signal needs a name and a kind")
+	}
+	s := diagram.Signal{Name: f[1]}
+	switch f[2] {
+	case "digital":
+		s.Kind = diagram.Digital
+	case "ramp":
+		s.Kind = diagram.Ramp
+	case "double":
+		s.Kind = diagram.DoubleRamp
+	default:
+		return fmt.Errorf("unknown signal kind %q", f[2])
+	}
+	p.lo, p.hi = 0.1, 0.9
+	for _, opt := range f[3:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return fmt.Errorf("bad signal option %q", opt)
+		}
+		switch k {
+		case "bounds":
+			hi, lo, ok := strings.Cut(v, "/")
+			if !ok {
+				return fmt.Errorf("bounds needs HIGH/LOW")
+			}
+			s.BoundHigh, s.BoundLow = hi, lo
+		case "low", "high":
+			fv, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return fmt.Errorf("bad %s %q", k, v)
+			}
+			if k == "low" {
+				p.lo = fv
+			} else {
+				p.hi = fv
+			}
+		default:
+			return fmt.Errorf("unknown signal option %q", k)
+		}
+	}
+	p.d.Signals = append(p.d.Signals, s)
+	p.cur = len(p.d.Signals) - 1
+	return nil
+}
+
+// edgeDirective parses `rise|fall|double X0 X1 [@THRESH] [*] [thick]`.
+func (p *parser) edgeDirective(f []string) error {
+	if p.cur < 0 {
+		return fmt.Errorf("%s before any signal", f[0])
+	}
+	cur := &p.d.Signals[p.cur]
+	if len(f) < 3 {
+		return fmt.Errorf("%s needs X0 and X1", f[0])
+	}
+	x0, err1 := strconv.ParseFloat(f[1], 64)
+	x1, err2 := strconv.ParseFloat(f[2], 64)
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("bad extent %q %q", f[1], f[2])
+	}
+	e := diagram.Edge{X0: x0, X1: x1, YLow: p.lo, YHigh: p.hi}
+	switch f[0] {
+	case "rise":
+		if cur.Kind == diagram.Digital {
+			e.Type = spo.RiseStep
+		} else {
+			e.Type = spo.RiseRamp
+		}
+	case "fall":
+		if cur.Kind == diagram.Digital {
+			e.Type = spo.FallStep
+		} else {
+			e.Type = spo.FallRamp
+		}
+	case "double":
+		if cur.Kind != diagram.DoubleRamp {
+			return fmt.Errorf("double edge on non-double signal")
+		}
+		e.Type = spo.Double
+		e.Threshold, e.ThresholdText = 0.5, "50%"
+	}
+	for _, opt := range f[3:] {
+		switch {
+		case opt == "*":
+			e.HasEvent = true
+		case opt == "thick":
+			e.Thick = true
+		case strings.HasPrefix(opt, "@"):
+			frac, text, err := parseThreshold(opt[1:])
+			if err != nil {
+				return err
+			}
+			e.Threshold, e.ThresholdText = frac, text
+		default:
+			return fmt.Errorf("unknown edge option %q", opt)
+		}
+	}
+	cur.Edges = append(cur.Edges, e)
+	return nil
+}
+
+// parseThreshold handles "90%" and "0.42:Vth".
+func parseThreshold(s string) (float64, string, error) {
+	if strings.HasSuffix(s, "%") {
+		v, err := strconv.Atoi(strings.TrimSuffix(s, "%"))
+		if err != nil || v < 0 || v > 100 {
+			return 0, "", fmt.Errorf("bad threshold %q", s)
+		}
+		return float64(v) / 100, s, nil
+	}
+	frac, text, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, "", fmt.Errorf("threshold %q needs %% or level:text", s)
+	}
+	v, err := strconv.ParseFloat(frac, 64)
+	if err != nil || v < 0 || v > 1 {
+		return 0, "", fmt.Errorf("bad threshold level %q", frac)
+	}
+	return v, text, nil
+}
+
+// arrowDirective parses `arrow SIG.I -> SIG.J LABEL [row=F] [outward]`.
+func arrowDirective(d *diagram.Diagram, f []string) error {
+	if len(f) < 5 || f[2] != "->" {
+		return fmt.Errorf("arrow needs SRC -> DST LABEL")
+	}
+	from, err := resolveEvent(d, f[1])
+	if err != nil {
+		return err
+	}
+	to, err := resolveEvent(d, f[3])
+	if err != nil {
+		return err
+	}
+	a := diagram.Arrow{From: from, To: to, Label: f[4], Y: 0.5}
+	for _, opt := range f[5:] {
+		switch {
+		case opt == "outward":
+			a.Outward = true
+		case strings.HasPrefix(opt, "row="):
+			v, err := strconv.ParseFloat(opt[4:], 64)
+			if err != nil || v < 0 || v > 1 {
+				return fmt.Errorf("bad row %q", opt)
+			}
+			a.Y = v
+		default:
+			return fmt.Errorf("unknown arrow option %q", opt)
+		}
+	}
+	d.Signals[from.Signal].Edges[from.Edge].HasEvent = true
+	d.Signals[to.Signal].Edges[to.Edge].HasEvent = true
+	d.Arrows = append(d.Arrows, a)
+	return nil
+}
+
+// resolveEvent parses "SIGNAL.INDEX" (1-based edge index).
+func resolveEvent(d *diagram.Diagram, ref string) (diagram.EventRef, error) {
+	dot := strings.LastIndex(ref, ".")
+	if dot < 0 {
+		return diagram.EventRef{}, fmt.Errorf("event reference %q needs SIGNAL.INDEX", ref)
+	}
+	name := ref[:dot]
+	idx, err := strconv.Atoi(ref[dot+1:])
+	if err != nil || idx < 1 {
+		return diagram.EventRef{}, fmt.Errorf("bad edge index in %q", ref)
+	}
+	for si := range d.Signals {
+		if d.Signals[si].Name == name {
+			if idx > len(d.Signals[si].Edges) {
+				return diagram.EventRef{}, fmt.Errorf("signal %q has %d edges, reference %q", name, len(d.Signals[si].Edges), ref)
+			}
+			return diagram.EventRef{Signal: si, Edge: idx - 1}, nil
+		}
+	}
+	return diagram.EventRef{}, fmt.Errorf("unknown signal %q", name)
+}

@@ -1,0 +1,164 @@
+package tdl
+
+import (
+	"strings"
+	"testing"
+
+	"tdmagic/internal/diagram"
+	"tdmagic/internal/spo"
+)
+
+const fig4LeftTD = `
+# paper Fig. 4 (left)
+name vnh5050a
+width 900
+height 540
+signal V_{INA} digital
+  rise 0.10 0.16 *
+  fall 0.55 0.61 *
+signal V_{OUTA} ramp bounds=V_{CC}/GND
+  rise 0.20 0.38 @90% *
+  fall 0.65 0.85 @10% *
+arrow V_{INA}.1 -> V_{OUTA}.1 t_{D(on)} row=0.3
+arrow V_{INA}.2 -> V_{OUTA}.2 t_{D(off)} row=0.7
+`
+
+func TestParseFig4Left(t *testing.T) {
+	d, err := Parse(fig4LeftTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "vnh5050a" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if len(d.Signals) != 2 || len(d.Arrows) != 2 {
+		t.Fatalf("parsed %d signals, %d arrows", len(d.Signals), len(d.Arrows))
+	}
+	ina := d.Signals[0]
+	if ina.Kind != diagram.Digital || len(ina.Edges) != 2 || ina.Edges[0].Type != spo.RiseStep {
+		t.Errorf("V_INA parsed wrong: %+v", ina)
+	}
+	outa := d.Signals[1]
+	if outa.Kind != diagram.Ramp || outa.BoundHigh != "V_{CC}" || outa.BoundLow != "GND" {
+		t.Errorf("V_OUTA parsed wrong: %+v", outa)
+	}
+	if outa.Edges[0].Threshold != 0.9 || outa.Edges[0].ThresholdText != "90%" {
+		t.Errorf("threshold parsed wrong: %+v", outa.Edges[0])
+	}
+	if !outa.Edges[0].HasEvent || !ina.Edges[1].HasEvent {
+		t.Error("events not marked")
+	}
+	if d.Arrows[0].Label != "t_{D(on)}" || d.Arrows[0].Y != 0.3 {
+		t.Errorf("arrow parsed wrong: %+v", d.Arrows[0])
+	}
+}
+
+func TestParsedDiagramRendersToExample1(t *testing.T) {
+	d, err := Parse(fig4LeftTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := d.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "n1 = (V_{INA}, 1, riseStep, None)\n" +
+		"n2 = (V_{OUTA}, 1, riseRamp, 90%)\n" +
+		"n3 = (V_{INA}, 2, fallStep, None)\n" +
+		"n4 = (V_{OUTA}, 2, fallRamp, 10%)\n" +
+		"e1 = (n1, t_{D(on)}, n2)\n" +
+		"e2 = (n3, t_{D(off)}, n4)\n"
+	if got := sample.Truth.SpecText(); got != want {
+		t.Errorf("ground truth:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestParseOptions(t *testing.T) {
+	d, err := Parse(`
+width 820
+height 600
+axes
+noise 25 9
+signal A ramp low=0.2 high=0.8
+  rise 0.2 0.4 @0.42:Vth * thick
+signal B double
+  double 0.5 0.6 *
+arrow A.1 -> B.1 6ns row=0.4 outward
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Style.Width != 820 || d.Style.Height != 600 || !d.Style.ShowAxes {
+		t.Error("style directives wrong")
+	}
+	if d.Style.NoiseDots != 25 || d.Style.NoiseSeed != 9 {
+		t.Error("noise directive wrong")
+	}
+	e := d.Signals[0].Edges[0]
+	if e.YLow != 0.2 || e.YHigh != 0.8 || e.Threshold != 0.42 || e.ThresholdText != "Vth" || !e.Thick {
+		t.Errorf("edge options wrong: %+v", e)
+	}
+	if d.Signals[1].Edges[0].Type != spo.Double {
+		t.Error("double edge wrong")
+	}
+	if !d.Arrows[0].Outward {
+		t.Error("outward not set")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"unknown directive", "wobble 3"},
+		{"bad width", "width x"},
+		{"negative width", "width -5"},
+		{"name arity", "name a b"},
+		{"noise arity", "noise 3"},
+		{"noise args", "noise a b"},
+		{"signal arity", "signal A"},
+		{"signal kind", "signal A analogish"},
+		{"signal option", "signal A ramp sparkle=1"},
+		{"signal option form", "signal A ramp sparkle"},
+		{"bad level", "signal A ramp low=x"},
+		{"bounds form", "signal A ramp bounds=VCC"},
+		{"edge before signal", "rise 0.1 0.2"},
+		{"edge arity", "signal A ramp\nrise 0.1"},
+		{"edge extent", "signal A ramp\nrise a b"},
+		{"edge option", "signal A ramp\nrise 0.1 0.2 shiny"},
+		{"double on ramp", "signal A ramp\ndouble 0.1 0.2"},
+		{"bad threshold pct", "signal A ramp\nrise 0.1 0.2 @x%"},
+		{"bad threshold form", "signal A ramp\nrise 0.1 0.2 @zz"},
+		{"bad threshold level", "signal A ramp\nrise 0.1 0.2 @1.5:V"},
+		{"arrow arity", "arrow A.1 -> B.1"},
+		{"arrow arrow", "arrow A.1 to B.1 t"},
+		{"arrow unknown signal", "signal A ramp\nrise 0.1 0.2\narrow A.1 -> B.1 t"},
+		{"arrow bad index", "signal A ramp\nrise 0.1 0.2\narrow A.2 -> A.1 t"},
+		{"arrow index form", "signal A ramp\nrise 0.1 0.2\narrow A.x -> A.1 t"},
+		{"arrow ref form", "signal A ramp\nrise 0.1 0.2\narrow A -> A t"},
+		{"arrow bad row", "signal A ramp\nrise 0.1 0.2\nrise 0.3 0.4\narrow A.1 -> A.2 t row=2"},
+		{"arrow option", "signal A ramp\nrise 0.1 0.2\nrise 0.3 0.4\narrow A.1 -> A.2 t glitter"},
+		{"invalid geometry", "signal A ramp\nrise 0.5 0.2"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.text); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	d, err := Parse("# nothing but comments\n\n   # indented\n")
+	if err == nil {
+		// Empty diagram fails Validate (no signals); accept either error
+		// form but never a silent success with signals.
+		if len(d.Signals) != 0 {
+			t.Error("comments produced signals")
+		}
+	}
+}
+
+func TestParseErrorMentionsLine(t *testing.T) {
+	_, err := Parse("width 900\nwobble\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error = %v, want line number", err)
+	}
+}

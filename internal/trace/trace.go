@@ -1,0 +1,195 @@
+// Package trace models timed multi-signal traces — the waveforms a
+// simulator or scope produces — and extracts the edge/threshold-crossing
+// events that SPO specifications talk about. Together with internal/monitor
+// it realises the use the paper's introduction motivates: once a timing
+// diagram has been translated to a formal specification, the specification
+// can drive runtime verification of real executions.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one sample of a signal: value V at time T.
+type Point struct {
+	T, V float64
+}
+
+// Signal is a piecewise-linear waveform, samples sorted by time.
+type Signal struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a sample; times must be non-decreasing.
+func (s *Signal) Append(t, v float64) error {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		return fmt.Errorf("trace: time %v before previous sample %v", t, s.Points[n-1].T)
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+	return nil
+}
+
+// Value returns the linearly interpolated value at time t. Outside the
+// sampled range the nearest sample's value is held.
+func (s *Signal) Value(t float64) float64 {
+	n := len(s.Points)
+	if n == 0 {
+		return 0
+	}
+	if t <= s.Points[0].T {
+		return s.Points[0].V
+	}
+	if t >= s.Points[n-1].T {
+		return s.Points[n-1].V
+	}
+	i := sort.Search(n, func(i int) bool { return s.Points[i].T >= t })
+	a, b := s.Points[i-1], s.Points[i]
+	if b.T == a.T {
+		return b.V
+	}
+	f := (t - a.T) / (b.T - a.T)
+	return a.V + f*(b.V-a.V)
+}
+
+// Range returns the minimum and maximum sampled value.
+func (s *Signal) Range() (lo, hi float64) {
+	if len(s.Points) == 0 {
+		return 0, 0
+	}
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	return lo, hi
+}
+
+// Crossing is one threshold crossing of a signal.
+type Crossing struct {
+	T      float64
+	Rising bool // value increasing through the level
+}
+
+// Crossings returns every time the signal crosses level, with direction,
+// computed on the piecewise-linear interpolation. Samples exactly on the
+// level resolve by the segment's direction.
+func (s *Signal) Crossings(level float64) []Crossing {
+	var out []Crossing
+	for i := 1; i < len(s.Points); i++ {
+		a, b := s.Points[i-1], s.Points[i]
+		if a.V == b.V {
+			continue
+		}
+		rising := b.V > a.V
+		lo, hi := a.V, b.V
+		if !rising {
+			lo, hi = b.V, a.V
+		}
+		// Cross when the open-closed interval passes the level (closed on
+		// the departing side so a segment starting exactly at the level
+		// counts once).
+		if level <= lo || level > hi {
+			if !(level == lo && ((rising && a.V == level) || (!rising && b.V == level))) {
+				continue
+			}
+		}
+		t := a.T + (level-a.V)/(b.V-a.V)*(b.T-a.T)
+		out = append(out, Crossing{T: t, Rising: rising})
+	}
+	return out
+}
+
+// Edge is a maximal monotone transition of a signal.
+type Edge struct {
+	T0, T1 float64 // transition time span
+	V0, V1 float64 // start and end values
+	Rising bool
+}
+
+// CrossTime returns the time the edge crosses the given absolute level.
+func (e Edge) CrossTime(level float64) (float64, bool) {
+	lo, hi := e.V0, e.V1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if level < lo || level > hi || e.V0 == e.V1 {
+		return 0, false
+	}
+	f := (level - e.V0) / (e.V1 - e.V0)
+	return e.T0 + f*(e.T1-e.T0), true
+}
+
+// Edges extracts the significant transitions of the signal: maximal
+// monotone runs whose swing exceeds minSwingFrac of the signal's value
+// range. This is the trace-side analogue of the edge boxes SED detects in
+// pictures.
+func (s *Signal) Edges(minSwingFrac float64) []Edge {
+	lo, hi := s.Range()
+	swing := (hi - lo) * minSwingFrac
+	if swing <= 0 {
+		return nil
+	}
+	var out []Edge
+	n := len(s.Points)
+	i := 1
+	for i < n {
+		// Skip flat segments.
+		for i < n && s.Points[i].V == s.Points[i-1].V {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		rising := s.Points[i].V > s.Points[i-1].V
+		start := i - 1
+		for i < n && s.Points[i].V != s.Points[i-1].V &&
+			(s.Points[i].V > s.Points[i-1].V) == rising {
+			i++
+		}
+		e := Edge{
+			T0: s.Points[start].T, T1: s.Points[i-1].T,
+			V0: s.Points[start].V, V1: s.Points[i-1].V,
+			Rising: rising,
+		}
+		if math.Abs(e.V1-e.V0) >= swing {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Trace is a set of named signals observed together.
+type Trace struct {
+	Signals []*Signal
+}
+
+// Signal returns the named signal, or nil.
+func (tr *Trace) Signal(name string) *Signal {
+	for _, s := range tr.Signals {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Add creates (or returns) the named signal.
+func (tr *Trace) Add(name string) *Signal {
+	if s := tr.Signal(name); s != nil {
+		return s
+	}
+	s := &Signal{Name: name}
+	tr.Signals = append(tr.Signals, s)
+	return s
+}
+
+// ErrNoSignal is returned when a referenced signal is absent from a trace.
+var ErrNoSignal = errors.New("trace: no such signal")

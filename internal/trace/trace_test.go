@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func mkSignal(t *testing.T, name string, pts ...Point) *Signal {
+	t.Helper()
+	s := &Signal{Name: name}
+	for _, p := range pts {
+		if err := s.Append(p.T, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestAppendOrdering(t *testing.T) {
+	s := &Signal{Name: "X"}
+	if err := s.Append(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(0.5, 1); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+	if err := s.Append(1, 1); err != nil {
+		t.Error("equal-time append should be allowed")
+	}
+}
+
+func TestValueInterpolation(t *testing.T) {
+	s := mkSignal(t, "X", Point{0, 0}, Point{2, 1})
+	if got := s.Value(1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Value(1) = %v", got)
+	}
+	if s.Value(-1) != 0 || s.Value(5) != 1 {
+		t.Error("extrapolation should hold endpoints")
+	}
+	empty := &Signal{}
+	if empty.Value(0) != 0 {
+		t.Error("empty signal value")
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := mkSignal(t, "X", Point{0, 2}, Point{1, -3}, Point{2, 7})
+	lo, hi := s.Range()
+	if lo != -3 || hi != 7 {
+		t.Errorf("range = %v, %v", lo, hi)
+	}
+	lo, hi = (&Signal{}).Range()
+	if lo != 0 || hi != 0 {
+		t.Error("empty range")
+	}
+}
+
+func TestCrossings(t *testing.T) {
+	// 0 -> 1 -> 0 pulse.
+	s := mkSignal(t, "X", Point{0, 0}, Point{1, 0}, Point{2, 1}, Point{3, 1}, Point{4, 0})
+	cr := s.Crossings(0.5)
+	if len(cr) != 2 {
+		t.Fatalf("crossings = %d, want 2: %v", len(cr), cr)
+	}
+	if !cr[0].Rising || math.Abs(cr[0].T-1.5) > 1e-12 {
+		t.Errorf("first crossing = %+v", cr[0])
+	}
+	if cr[1].Rising || math.Abs(cr[1].T-3.5) > 1e-12 {
+		t.Errorf("second crossing = %+v", cr[1])
+	}
+}
+
+func TestCrossingsFlatSegments(t *testing.T) {
+	s := mkSignal(t, "X", Point{0, 0.5}, Point{1, 0.5})
+	if len(s.Crossings(0.5)) != 0 {
+		t.Error("flat signal should not cross")
+	}
+}
+
+func TestEdgeCrossTime(t *testing.T) {
+	e := Edge{T0: 0, T1: 2, V0: 0, V1: 1, Rising: true}
+	tm, ok := e.CrossTime(0.25)
+	if !ok || math.Abs(tm-0.5) > 1e-12 {
+		t.Errorf("CrossTime = %v, %v", tm, ok)
+	}
+	if _, ok := e.CrossTime(2); ok {
+		t.Error("out-of-range level crossed")
+	}
+	flat := Edge{T0: 0, T1: 1, V0: 1, V1: 1}
+	if _, ok := flat.CrossTime(1); ok {
+		t.Error("flat edge crossed")
+	}
+}
+
+func TestEdges(t *testing.T) {
+	// Pulse with small noise bump (filtered by swing) and two real edges.
+	s := mkSignal(t, "X",
+		Point{0, 0}, Point{1, 0}, Point{1.2, 0.05}, Point{1.4, 0}, // noise
+		Point{2, 0}, Point{3, 1}, // rise
+		Point{4, 1}, Point{5, 0}, // fall
+		Point{6, 0})
+	edges := s.Edges(0.5)
+	if len(edges) != 2 {
+		t.Fatalf("edges = %d, want 2: %+v", len(edges), edges)
+	}
+	if !edges[0].Rising || edges[0].T0 != 2 || edges[0].T1 != 3 {
+		t.Errorf("rise edge = %+v", edges[0])
+	}
+	if edges[1].Rising || edges[1].T0 != 4 || edges[1].T1 != 5 {
+		t.Errorf("fall edge = %+v", edges[1])
+	}
+}
+
+func TestEdgesMonotoneRuns(t *testing.T) {
+	// A staircase up counts as one edge (monotone run).
+	s := mkSignal(t, "X", Point{0, 0}, Point{1, 0.4}, Point{2, 0.8}, Point{3, 1})
+	edges := s.Edges(0.5)
+	if len(edges) != 1 || edges[0].V0 != 0 || edges[0].V1 != 1 {
+		t.Errorf("edges = %+v", edges)
+	}
+}
+
+func TestEdgesDegenerate(t *testing.T) {
+	if len((&Signal{}).Edges(0.5)) != 0 {
+		t.Error("empty signal has edges")
+	}
+	flat := mkSignal(t, "X", Point{0, 1}, Point{5, 1})
+	if len(flat.Edges(0.5)) != 0 {
+		t.Error("flat signal has edges")
+	}
+}
+
+func TestTraceAddSignal(t *testing.T) {
+	tr := &Trace{}
+	a := tr.Add("X")
+	b := tr.Add("X")
+	if a != b {
+		t.Error("Add should return the existing signal")
+	}
+	if tr.Signal("Y") != nil {
+		t.Error("missing signal should be nil")
+	}
+	tr.Add("Y")
+	if len(tr.Signals) != 2 {
+		t.Error("signal count wrong")
+	}
+}

@@ -1,0 +1,198 @@
+package vcd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tdmagic/internal/monitor"
+	"tdmagic/internal/spo"
+)
+
+const sampleVCD = `$date today $end
+$version tdmagic test $end
+$timescale 1ns $end
+$scope module top $end
+$var wire 1 ! VINA $end
+$var real 64 " VOUTA $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+r0.0 "
+$end
+#100
+1!
+#150
+r0.5 "
+#200
+r1.0 "
+#400
+0!
+#450
+r0.5 "
+#500
+r0.0 "
+`
+
+func TestParseSample(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleVCD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vina := tr.Signal("top.VINA")
+	vouta := tr.Signal("top.VOUTA")
+	if vina == nil || vouta == nil {
+		t.Fatalf("signals missing: %+v", tr.Signals)
+	}
+	// Timescale 1ns applied: rise at 100 ns.
+	cr := vina.Crossings(0.5)
+	if len(cr) != 2 {
+		t.Fatalf("VINA crossings = %d", len(cr))
+	}
+	if math.Abs(cr[0].T-100e-9) > 1e-12 || !cr[0].Rising {
+		t.Errorf("first crossing = %+v", cr[0])
+	}
+	if math.Abs(cr[1].T-400e-9) > 1e-12 || cr[1].Rising {
+		t.Errorf("second crossing = %+v", cr[1])
+	}
+	// Analog ramp values interpolate.
+	if v := vouta.Value(175e-9); v < 0.5 || v > 1.0 {
+		t.Errorf("VOUTA mid-ramp = %v", v)
+	}
+}
+
+func TestParsedTraceDrivesMonitor(t *testing.T) {
+	tr, err := Parse(strings.NewReader(sampleVCD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example-1 style spec: VINA rise leads VOUTA 90% crossing.
+	p := &spo.SPO{}
+	n1 := p.AddNode(spo.Node{Signal: "top.VINA", EdgeIndex: 1, Type: spo.RiseStep})
+	n2 := p.AddNode(spo.Node{Signal: "top.VOUTA", EdgeIndex: 1, Type: spo.RiseRamp, Threshold: "90%"})
+	_ = p.AddConstraint(n1, n2, "t_{D(on)}")
+	spec := &monitor.Spec{
+		SPO:    p,
+		Delays: map[string]monitor.Bounds{"t_{D(on)}": {Min: 50e-9, Max: 150e-9}},
+	}
+	res, err := monitor.Check(spec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("violations on conforming VCD: %v", res.Violations)
+	}
+	// Tighten the max below the measured ~90 ns delay: must now violate.
+	spec.Delays["t_{D(on)}"] = monitor.Bounds{Min: 1e-9, Max: 50e-9}
+	res, err = monitor.Check(spec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Error("tightened bound not violated")
+	}
+}
+
+func TestParseVectors(t *testing.T) {
+	tr, err := Parse(strings.NewReader(`$timescale 1us $end
+$var reg 4 % bus $end
+$enddefinitions $end
+#0
+b0000 %
+#10
+b1010 %
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := tr.Signal("bus")
+	if bus == nil {
+		t.Fatal("bus missing")
+	}
+	if v := bus.Value(10e-6); v != 10 {
+		t.Errorf("bus value = %v, want 10", v)
+	}
+}
+
+func TestParseScopes(t *testing.T) {
+	tr, err := Parse(strings.NewReader(`$timescale 1ns $end
+$scope module chip $end
+$scope module core $end
+$var wire 1 ! clk $end
+$upscope $end
+$upscope $end
+$enddefinitions $end
+#0
+0!
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Signal("chip.core.clk") == nil {
+		t.Errorf("scoped name missing: %+v", tr.Signals)
+	}
+}
+
+func TestParseXandZ(t *testing.T) {
+	tr, err := Parse(strings.NewReader(`$timescale 1ns $end
+$var wire 1 ! w $end
+$enddefinitions $end
+#0
+x!
+#5
+1!
+#9
+z!
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tr.Signal("w")
+	// Probe just after each change (the exact change instant is the step
+	// boundary).
+	if w.Value(1e-9) != 0 || w.Value(9.5e-9) != 0 {
+		t.Error("x/z should resolve low")
+	}
+	if w.Value(6e-9) != 1 {
+		t.Error("1 lost")
+	}
+}
+
+func TestParseTimescaleVariants(t *testing.T) {
+	cases := map[string]float64{
+		"1ns":   1e-9,
+		"10 us": 1e-5,
+		"100ps": 1e-10,
+		"1 s":   1,
+	}
+	for in, want := range cases {
+		got, err := parseTimescale(append(strings.Fields(in), "$end"))
+		if err != nil || math.Abs(got-want) > want*1e-9 {
+			t.Errorf("parseTimescale(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"ns", "1 fortnights", ""} {
+		if _, err := parseTimescale(append(strings.Fields(bad), "$end")); err == nil {
+			t.Errorf("parseTimescale(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"bad timestamp", "$enddefinitions $end\n#xyz\n"},
+		{"unknown scalar id", "$enddefinitions $end\n#0\n1?\n"},
+		{"unknown vector id", "$enddefinitions $end\n#0\nb101 ?\n"},
+		{"unknown real id", "$enddefinitions $end\n#0\nr1.5 ?\n"},
+		{"vector missing id", "$enddefinitions $end\n#0\nb101\n"},
+		{"garbage change", "$enddefinitions $end\n#0\nqqq\n"},
+		{"malformed var", "$var wire 1\n$enddefinitions $end\n"},
+		{"bare scalar", "$enddefinitions $end\n#0\n1\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package tdmagic translates pictures of hardware timing diagrams into
+// formal specifications — strict partial orders (SPOs) over signal-edge
+// events annotated with timing constraints — reproducing "TD-Magic: From
+// Pictures of Timing Diagrams To Formal Specifications" (DAC 2023).
+//
+// The typical workflow is:
+//
+//	gen := tdmagic.NewGenerator(tdmagic.G1, 1)     // L-TD-G synthetic data
+//	train, _ := gen.GenerateN(200)
+//	pipe, _ := tdmagic.Train(rand.New(rand.NewSource(1)), train, tdmagic.DefaultTrainConfig())
+//	spec, _, _ := pipe.Translate(img)              // bitmap -> SPO
+//	fmt.Print(spec.SpecText())
+//
+// The extracted SPO can then drive runtime verification (Monitor, Check)
+// or be exported to a temporal-logic formula (Formula).
+//
+// Everything is implemented on the Go standard library alone: the raster
+// substrate, the constraint sampler behind the synthetic generator, the
+// learned edge detector and OCR, the morphological line detection, and the
+// semantic interpretation.
+package tdmagic
+
+import (
+	"io"
+	"math/rand"
+
+	"tdmagic/internal/core"
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/diagram"
+	"tdmagic/internal/eval"
+	"tdmagic/internal/imgproc"
+	"tdmagic/internal/industrial"
+	"tdmagic/internal/ltl"
+	"tdmagic/internal/monitor"
+	"tdmagic/internal/spo"
+	"tdmagic/internal/sva"
+	"tdmagic/internal/tdgen"
+	"tdmagic/internal/tdl"
+	"tdmagic/internal/trace"
+	"tdmagic/internal/vcd"
+)
+
+// Formal-specification core (paper Definition 1).
+type (
+	// SPO is a strict partial order over timing-diagram events.
+	SPO = spo.SPO
+	// Node is one event: (signal, edge index, edge type, threshold).
+	Node = spo.Node
+	// Constraint is a timing-annotated order edge between two events.
+	Constraint = spo.Constraint
+	// EdgeType classifies a signal transition.
+	EdgeType = spo.EdgeType
+)
+
+// Edge types.
+const (
+	RiseStep = spo.RiseStep
+	FallStep = spo.FallStep
+	RiseRamp = spo.RiseRamp
+	FallRamp = spo.FallRamp
+	Double   = spo.Double
+)
+
+// NoThreshold is the threshold of step-edge events.
+const NoThreshold = spo.NoThreshold
+
+// Pipeline is a trained TD-Magic instance (SED + OCR + LAD + SEI).
+type Pipeline = core.Pipeline
+
+// TrainConfig bundles the training parameters of the learned modules.
+type TrainConfig = core.TrainConfig
+
+// Report exposes a translation's intermediate detections.
+type Report = core.Report
+
+// Sample is one labelled timing diagram (picture plus ground truth).
+type Sample = dataset.Sample
+
+// Abstract timing-diagram model: build one directly to rasterise a
+// hand-specified TD (see examples/datasheet).
+type (
+	// Diagram is a complete abstract timing diagram.
+	Diagram = diagram.Diagram
+	// Signal is one waveform with its transitions.
+	Signal = diagram.Signal
+	// Edge is one signal transition.
+	Edge = diagram.Edge
+	// Arrow is a timing-constraint annotation between two events.
+	Arrow = diagram.Arrow
+	// EventRef addresses an event by signal and edge index.
+	EventRef = diagram.EventRef
+	// Style controls rendering.
+	Style = diagram.Style
+	// SignalKind classifies a waveform.
+	SignalKind = diagram.SignalKind
+	// ThresholdMark is a decorative threshold annotation.
+	ThresholdMark = diagram.ThresholdMark
+)
+
+// Signal kinds.
+const (
+	Digital    = diagram.Digital
+	Ramp       = diagram.Ramp
+	DoubleRamp = diagram.DoubleRamp
+)
+
+// DefaultStyle returns the rendering style used for the synthetic set.
+func DefaultStyle() Style { return diagram.DefaultStyle() }
+
+// ParseTD parses the compact textual timing-diagram language (see
+// internal/tdl and cmd/tdrender) into a Diagram.
+func ParseTD(text string) (*Diagram, error) { return tdl.Parse(text) }
+
+// ParseSpec parses the textual SPO format produced by SPO.SpecText.
+func ParseSpec(text string) (*SPO, error) { return spo.ParseSpec(text) }
+
+// Generation modes of the synthetic data generator (paper Sec. VI.1).
+const (
+	G1 = tdgen.G1 // default two-signal mode
+	G2 = tdgen.G2 // one big signal per picture
+	G3 = tdgen.G3 // simplified constraints, ramp focus
+)
+
+// DefaultTrainConfig returns the training configuration used in the
+// experiments, including the built-in signal-name lexicon.
+func DefaultTrainConfig() TrainConfig {
+	cfg := core.DefaultTrainConfig()
+	cfg.NameLexicon = eval.NameLexicon()
+	cfg.ValueLexicon = eval.ValueLexicon()
+	return cfg
+}
+
+// Train fits a pipeline on labelled samples (typically from NewGenerator).
+func Train(rng *rand.Rand, samples []*Sample, cfg TrainConfig) (*Pipeline, error) {
+	return core.Train(rng, samples, cfg)
+}
+
+// LoadPipeline reads a pipeline saved with Pipeline.SaveFile.
+func LoadPipeline(path string) (*Pipeline, error) { return core.LoadFile(path) }
+
+// Generator produces synthetic labelled timing diagrams (L-TD-G).
+type Generator = tdgen.Generator
+
+// NewGenerator returns an L-TD-G generator for the given mode and seed.
+func NewGenerator(mode tdgen.Mode, seed int64) *Generator {
+	return tdgen.New(tdgen.DefaultConfig(mode), rand.New(rand.NewSource(seed)))
+}
+
+// IndustrialCorpus generates the 30-diagram extrapolation corpus with the
+// paper's corpus statistics and corner cases.
+func IndustrialCorpus(seed int64) ([]*Sample, error) { return industrial.Corpus(seed) }
+
+// Image is a grayscale raster picture.
+type Image = imgproc.Gray
+
+// DecodePNG reads a PNG into an Image.
+var DecodePNG = imgproc.DecodePNG
+
+// Runtime verification (the use-case the paper's introduction motivates).
+type (
+	// Trace is a timed multi-signal waveform record.
+	Trace = trace.Trace
+	// MonitorSpec is an SPO plus admissible delay intervals.
+	MonitorSpec = monitor.Spec
+	// Bounds is an admissible delay interval.
+	Bounds = monitor.Bounds
+	// MonitorResult reports located events and violations.
+	MonitorResult = monitor.Result
+)
+
+// Check verifies a trace against a specification.
+func Check(spec *MonitorSpec, tr *Trace) (*MonitorResult, error) {
+	return monitor.Check(spec, tr)
+}
+
+// SynthesizeTrace builds a specification-satisfying trace (for tests and
+// template waveforms).
+func SynthesizeTrace(spec *MonitorSpec, rampFrac float64) (*Trace, error) {
+	return monitor.SynthesizeTrace(spec, rampFrac)
+}
+
+// ParseVCD reads a simulator Value Change Dump into a Trace, so extracted
+// specifications can be checked against real simulation runs.
+func ParseVCD(r io.Reader) (*Trace, error) { return vcd.Parse(r) }
+
+// Formula exports an SPO to a metric-temporal-logic style textual formula.
+func Formula(p *SPO, delays map[string]Bounds) (string, error) {
+	return ltl.Formula(p, delays)
+}
+
+// SVAOptions controls SystemVerilog-assertion export.
+type SVAOptions = sva.Options
+
+// ExportSVA renders an SPO as SystemVerilog concurrent assertions.
+func ExportSVA(p *SPO, delays map[string]Bounds, opts SVAOptions) (string, error) {
+	return sva.Export(p, delays, opts)
+}
+
+// RenderOverlay draws a translation report on the analysed picture in the
+// paper's Fig. 6/7 annotation style.
+var RenderOverlay = core.RenderOverlay

@@ -1,0 +1,194 @@
+package tdmagic
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFacadeWorkflow exercises the documented public workflow end to end:
+// generate synthetic data, train, translate, monitor, export.
+func TestFacadeWorkflow(t *testing.T) {
+	gen := NewGenerator(G1, 1)
+	train, err := gen.GenerateN(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := Train(rand.New(rand.NewSource(1)), train, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, err := NewGenerator(G1, 99).GenerateN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spec *SPO
+	for _, s := range val {
+		got, rep, err := pipe.Translate(s.Image)
+		if err != nil {
+			continue
+		}
+		if rep == nil {
+			t.Fatal("no report")
+		}
+		if got.Validate() != nil {
+			t.Fatal("invalid SPO from facade")
+		}
+		if spec == nil && len(got.Constraints) > 0 && got.TotalEqual(s.Truth) {
+			spec = got
+		}
+	}
+	if spec == nil {
+		t.Skip("no totally-correct translation in the small validation set")
+	}
+	// Use the extracted SPO as a runtime-verification spec.
+	delays := map[string]Bounds{}
+	for _, c := range spec.Constraints {
+		delays[c.Delay] = Bounds{Min: 0.5, Max: 5}
+	}
+	ms := &MonitorSpec{SPO: spec, Delays: delays}
+	tr, err := SynthesizeTrace(ms, 0.1)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	res, err := Check(ms, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("violations on satisfying trace: %v", res.Violations)
+	}
+	// Export to temporal logic.
+	f, err := Formula(spec, delays)
+	if err != nil || f == "" {
+		t.Errorf("formula export failed: %q, %v", f, err)
+	}
+}
+
+func TestIndustrialCorpusFacade(t *testing.T) {
+	corpus, err := IndustrialCorpus(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 30 {
+		t.Fatalf("corpus size %d", len(corpus))
+	}
+}
+
+func TestEdgeTypeConstants(t *testing.T) {
+	if RiseStep.String() != "riseStep" || Double.String() != "double" {
+		t.Error("edge type re-exports wrong")
+	}
+	if NoThreshold != "None" {
+		t.Error("NoThreshold wrong")
+	}
+}
+
+// TestTDLRoundtrip authors a diagram as text, renders it, translates the
+// picture back, and compares against the parsed ground truth — the full
+// author/render/extract loop.
+func TestTDLRoundtrip(t *testing.T) {
+	d, err := ParseTD(`
+name roundtrip
+signal CLK digital
+  rise 0.15 0.19 *
+  fall 0.55 0.59 *
+signal OUT ramp
+  rise 0.30 0.46 @90% *
+arrow CLK.1 -> OUT.1 t_{PLH} row=0.3
+arrow CLK.1 -> CLK.2 t_{W} row=0.7
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := d.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := NewGenerator(G1, 11).GenerateN(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := Train(rand.New(rand.NewSource(11)), train, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := pipe.Translate(sample.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.TemplateEqual(sample.Truth) {
+		t.Errorf("roundtrip not structurally correct:\ngot:\n%swant:\n%s",
+			got.SpecText(), sample.Truth.SpecText())
+	}
+	// And the textual spec round-trips through ParseSpec.
+	back, err := ParseSpec(got.SpecText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.TotalEqual(got) {
+		t.Error("SpecText/ParseSpec roundtrip mismatch")
+	}
+}
+
+// TestFacadeSaveLoadAndExports exercises the persistence and export
+// surfaces of the facade.
+func TestFacadeSaveLoadAndExports(t *testing.T) {
+	train, err := NewGenerator(G1, 21).GenerateN(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.SEDTrain.Epochs = 4
+	pipe, err := Train(rand.New(rand.NewSource(21)), train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := pipe.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPipeline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := train[0]
+	got, rep, err := loaded.Translate(s.Image)
+	if err != nil {
+		t.Skipf("translation failed: %v", err)
+	}
+	// Overlay rendering.
+	overlay := RenderOverlay(s.Image, rep)
+	if overlay.Rect.Dx() != s.Image.W {
+		t.Error("overlay size wrong")
+	}
+	// SVA export of whatever was extracted.
+	src, err := ExportSVA(got, map[string]Bounds{}, SVAOptions{ModuleName: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "module m(") {
+		t.Errorf("SVA export wrong:\n%s", src)
+	}
+}
+
+// TestFacadePNGRoundtrip checks the image I/O surface.
+func TestFacadePNGRoundtrip(t *testing.T) {
+	sample, err := NewGenerator(G1, 31).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sample.Image.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := DecodePNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != sample.Image.W || img.H != sample.Image.H {
+		t.Error("PNG roundtrip size mismatch")
+	}
+}
