@@ -1,0 +1,15 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging:
+#   1. go vet         static analysis (also catches sync.Pool copies)
+#   2. go build       every package compiles
+#   3. go test -race  full suite under the race detector; the parallel
+#                     training pipeline and the pooled inference scratch
+#                     buffers are only trustworthy race-clean
+#   4. benchmark smoke run: one iteration of the Fig. 1 single-image
+#                     pipeline, so the hot path is exercised end to end
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run '^$' -bench BenchmarkFig1PipelineSingleImage -benchtime 1x .

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tdmagic/internal/core"
@@ -34,13 +36,41 @@ func main() {
 		g2      = flag.Int("g2", 32, "G2 training pictures")
 		g3      = flag.Int("g3", 24, "G3 training pictures")
 		valN    = flag.Int("val", 40, "synthetic validation pictures")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for generation and training (results are worker-count invariant)")
+		cpuProf = flag.String("cpuprofile", "", "write CPU profile to file")
+		memProf = flag.String("memprofile", "", "write heap profile to file on exit")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	opts := eval.DefaultOptions()
 	opts.Seed = *seed
 	opts.TrainG1, opts.TrainG2, opts.TrainG3 = *g1, *g2, *g3
 	opts.Validation = *valN
+	opts.Workers = *workers
 
 	var pipe *core.Pipeline
 	if *table != "stats" {

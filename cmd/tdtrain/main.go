@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tdtrain -out model.gob [-g1 64 -g2 32 -g3 24] [-seed 1] [-epochs 30]
+//	        [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"tdmagic/internal/core"
 	"tdmagic/internal/eval"
@@ -22,21 +25,36 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tdtrain: ")
 	var (
-		out    = flag.String("out", "", "output model file (required)")
-		g1     = flag.Int("g1", 64, "G1 training pictures")
-		g2     = flag.Int("g2", 32, "G2 training pictures")
-		g3     = flag.Int("g3", 24, "G3 training pictures")
-		seed   = flag.Int64("seed", 1, "random seed")
-		epochs = flag.Int("epochs", 30, "SED training epochs")
+		out     = flag.String("out", "", "output model file (required)")
+		g1      = flag.Int("g1", 64, "G1 training pictures")
+		g2      = flag.Int("g2", 32, "G2 training pictures")
+		g3      = flag.Int("g3", 24, "G3 training pictures")
+		seed    = flag.Int64("seed", 1, "random seed")
+		epochs  = flag.Int("epochs", 30, "SED training epochs")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for generation and training (results are worker-count invariant)")
+		cpuProf = flag.String("cpuprofile", "", "write CPU profile to file")
+		memProf = flag.String("memprofile", "", "write heap profile to file on exit")
 	)
 	flag.Parse()
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	opts := eval.DefaultOptions()
 	opts.Seed = *seed
 	opts.TrainG1, opts.TrainG2, opts.TrainG3 = *g1, *g2, *g3
+	opts.Workers = *workers
 	train, err := eval.GenTrainingSet(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -45,12 +63,24 @@ func main() {
 	cfg.SEDTrain.Epochs = *epochs
 	cfg.NameLexicon = eval.NameLexicon()
 	cfg.ValueLexicon = eval.ValueLexicon()
+	cfg.Workers = *workers
 	pipe, err := core.Train(rand.New(rand.NewSource(*seed)), train, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := pipe.SaveFile(*out); err != nil {
 		log.Fatal(err)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("trained on %d pictures (G1=%d G2=%d G3=%d), model saved to %s\n",
 		len(train), *g1, *g2, *g3, *out)

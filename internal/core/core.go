@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"tdmagic/internal/dataset"
+	"tdmagic/internal/geom"
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/lad"
 	"tdmagic/internal/ocr"
@@ -44,6 +45,11 @@ type TrainConfig struct {
 	SEICfg       sei.Config
 	NameLexicon  []string // optional signal-name dictionary for SEI
 	ValueLexicon []string // optional signal-value dictionary for SEI
+	// Workers fans the data-parallel training stages (per-picture
+	// featurisation, minibatch gradients) out over this many goroutines
+	// (<= 0 means GOMAXPROCS). The trained pipeline is bit-identical for
+	// any worker count.
+	Workers int
 }
 
 // DefaultTrainConfig returns the configuration used in the experiments.
@@ -63,6 +69,9 @@ func DefaultTrainConfig() TrainConfig {
 func Train(rng *rand.Rand, samples []*dataset.Sample, cfg TrainConfig) (*Pipeline, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: no training samples")
+	}
+	if cfg.SEDTrain.Workers == 0 {
+		cfg.SEDTrain.Workers = cfg.Workers
 	}
 	sedModel, err := sed.Train(rng, samples, cfg.SEDCfg, cfg.SEDTrain)
 	if err != nil {
@@ -133,23 +142,38 @@ func (p *Pipeline) analyze(img *imgproc.Gray) *Report {
 		rep.Texts = p.OCR.ReadAll(lines.BW, lines, p.OCRCfg)
 	}
 	if p.SED != nil {
-		dets := p.SED.Detect(img, lines)
-		kept := dets[:0]
-		for _, d := range dets {
-			isText := false
-			for _, t := range rep.Texts {
-				if d.Box.IoU(t.Box) >= 0.4 || t.Box.Expand(2, 2).Contains(d.Box) {
-					isText = true
-					break
-				}
-			}
-			if !isText {
-				kept = append(kept, d)
-			}
-		}
-		rep.Edges = kept
+		rep.Edges = dropTextOverlaps(p.SED.Detect(img, lines), rep.Texts)
 	}
 	return rep
+}
+
+// dropTextOverlaps filters edge detections that coincide with recognised
+// text: IoU >= 0.4 with a text box, or containment in the text box expanded
+// by 2 px. The expanded boxes are computed once up front rather than inside
+// the O(edges × texts) scan. Filtering is in place; the returned slice
+// reuses dets' backing array.
+func dropTextOverlaps(dets []sed.Detection, texts []ocr.Result) []sed.Detection {
+	if len(dets) == 0 || len(texts) == 0 {
+		return dets
+	}
+	expanded := make([]geom.Rect, len(texts))
+	for i, t := range texts {
+		expanded[i] = t.Box.Expand(2, 2)
+	}
+	kept := dets[:0]
+	for _, d := range dets {
+		isText := false
+		for i, t := range texts {
+			if d.Box.IoU(t.Box) >= 0.4 || expanded[i].Contains(d.Box) {
+				isText = true
+				break
+			}
+		}
+		if !isText {
+			kept = append(kept, d)
+		}
+	}
+	return kept
 }
 
 // OracleEdges converts ground-truth edge boxes into detections, for oracle

@@ -7,7 +7,11 @@ import (
 	"testing"
 
 	"tdmagic/internal/dataset"
+	"tdmagic/internal/geom"
 	"tdmagic/internal/imgproc"
+	"tdmagic/internal/ocr"
+	"tdmagic/internal/sed"
+	"tdmagic/internal/spo"
 	"tdmagic/internal/tdgen"
 )
 
@@ -226,5 +230,36 @@ func TestTranslateAllMatchesSequential(t *testing.T) {
 	}
 	if got := pipe.TranslateAll(nil, 4); len(got) != 0 {
 		t.Error("empty batch wrong")
+	}
+}
+
+func TestDropTextOverlaps(t *testing.T) {
+	texts := []ocr.Result{
+		{Box: geom.Rect{X0: 100, Y0: 100, X1: 130, Y1: 115}, Text: "CLK"},
+	}
+	dets := []sed.Detection{
+		// High IoU with the text box: dropped.
+		{Box: geom.Rect{X0: 101, Y0: 101, X1: 129, Y1: 114}, Type: spo.RiseRamp},
+		// Inside the text box expanded by 2 px but low IoU: dropped.
+		{Box: geom.Rect{X0: 124, Y0: 102, X1: 131, Y1: 112}, Type: spo.Double},
+		// Far away: kept.
+		{Box: geom.Rect{X0: 300, Y0: 100, X1: 320, Y1: 140}, Type: spo.FallStep},
+		// Adjacent but outside the expanded box with negligible IoU: kept.
+		{Box: geom.Rect{X0: 133, Y0: 100, X1: 160, Y1: 140}, Type: spo.RiseStep},
+	}
+	got := dropTextOverlaps(append([]sed.Detection(nil), dets...), texts)
+	if len(got) != 2 {
+		t.Fatalf("kept %d detections, want 2: %v", len(got), got)
+	}
+	if got[0].Type != spo.FallStep || got[1].Type != spo.RiseStep {
+		t.Errorf("wrong detections kept: %v", got)
+	}
+	// Degenerate inputs pass through untouched.
+	if out := dropTextOverlaps(nil, texts); len(out) != 0 {
+		t.Error("nil dets not passed through")
+	}
+	keep := []sed.Detection{dets[0]}
+	if out := dropTextOverlaps(keep, nil); len(out) != 1 {
+		t.Error("no-text case must keep everything")
 	}
 }

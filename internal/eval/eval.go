@@ -36,6 +36,11 @@ type Options struct {
 	CorpusSeed int64
 	// Lexicon enables the SEI signal-name dictionary.
 	Lexicon bool
+	// Workers fans sample generation and training over this many
+	// goroutines (<= 0 means GOMAXPROCS). Results are bit-identical for
+	// any worker count: every sample draws from its own index-derived
+	// rng stream and gradients reduce in a fixed order.
+	Workers int
 }
 
 // DefaultOptions returns the configuration used by cmd/tdeval and the
@@ -84,8 +89,8 @@ func GenTrainingSet(opts Options) ([]*dataset.Sample, error) {
 		if part.n == 0 {
 			continue
 		}
-		g := tdgen.New(tdgen.DefaultConfig(part.mode), rand.New(rand.NewSource(opts.Seed+int64(part.mode))))
-		samples, err := g.GenerateN(part.n)
+		g := tdgen.NewSeeded(tdgen.DefaultConfig(part.mode), opts.Seed+int64(part.mode))
+		samples, err := g.GenerateNWorkers(part.n, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -97,8 +102,8 @@ func GenTrainingSet(opts Options) ([]*dataset.Sample, error) {
 // GenValidationSet produces held-out synthetic pictures (G1 mode, disjoint
 // seed stream).
 func GenValidationSet(opts Options) ([]*dataset.Sample, error) {
-	g := tdgen.New(tdgen.DefaultConfig(tdgen.G1), rand.New(rand.NewSource(opts.Seed+1000)))
-	return g.GenerateN(opts.Validation)
+	g := tdgen.NewSeeded(tdgen.DefaultConfig(tdgen.G1), opts.Seed+1000)
+	return g.GenerateNWorkers(opts.Validation, opts.Workers)
 }
 
 // TrainPipeline trains the full pipeline on the synthetic mix.
@@ -112,6 +117,7 @@ func TrainPipeline(opts Options) (*core.Pipeline, error) {
 		cfg.NameLexicon = nameLexicon
 		cfg.ValueLexicon = valueLexicon
 	}
+	cfg.Workers = opts.Workers
 	return core.Train(rand.New(rand.NewSource(opts.Seed)), train, cfg)
 }
 

@@ -222,7 +222,7 @@ func TestGradientCheck(t *testing.T) {
 
 	gW := [][]float64{make([]float64, len(n.Weights[0])), make([]float64, len(n.Weights[1]))}
 	gB := [][]float64{make([]float64, len(n.Biases[0])), make([]float64, len(n.Biases[1]))}
-	n.backprop(s, gW, gB)
+	n.backprop(n.NewScratch(), s, gW, gB)
 
 	loss := func() float64 {
 		p := Softmax(n.Logits(s.X))

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// trainSamples builds a small deterministic classification problem.
+func trainSamples(rng *rand.Rand, n int) []Sample {
+	centers := [][2]float64{{0, 0}, {3, 0}, {0, 3}}
+	samples := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(3)
+		samples = append(samples, Sample{
+			X: []float64{centers[c][0] + rng.NormFloat64()*0.3, centers[c][1] + rng.NormFloat64()*0.3},
+			Y: c,
+		})
+	}
+	return samples
+}
+
+// TestTrainWorkerCountInvariant pins the tentpole determinism guarantee:
+// training with 1 worker and with 8 workers must produce bit-identical
+// weights for the same seed.
+func TestTrainWorkerCountInvariant(t *testing.T) {
+	build := func(workers int) *Net {
+		rng := rand.New(rand.NewSource(99))
+		samples := trainSamples(rng, 130) // odd size: exercises ragged batches and chunks
+		n := NewNet(rng, 2, 10, 3)
+		if _, err := n.Train(rng, samples, TrainConfig{Epochs: 8, BatchSize: 48, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	base := build(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := build(workers)
+		if !reflect.DeepEqual(base.Weights, got.Weights) || !reflect.DeepEqual(base.Biases, got.Biases) {
+			t.Fatalf("weights differ between Workers=1 and Workers=%d", workers)
+		}
+	}
+}
+
+// TestScratchPredictMatchesPredict checks the buffer-reusing inference path
+// against the allocating one.
+func TestScratchPredictMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := NewNet(rng, 6, 12, 4)
+	sc := n.NewScratch()
+	x := make([]float64, 6)
+	for trial := 0; trial < 50; trial++ {
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		wc, wp := n.Predict(x)
+		gc, gp := n.PredictScratch(sc, x)
+		if wc != gc || wp != gp {
+			t.Fatalf("PredictScratch (%d,%v) != Predict (%d,%v)", gc, gp, wc, wp)
+		}
+		a := n.Logits(x)
+		b := n.LogitsScratch(sc, x)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("LogitsScratch differs from Logits")
+			}
+		}
+	}
+}
+
+// TestPredictScratchZeroAlloc guards the inference hot path against
+// allocation regressions.
+func TestPredictScratchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := NewNet(rng, 155, 48, 6)
+	sc := n.NewScratch()
+	x := make([]float64, 155)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		n.PredictScratch(sc, x)
+	}); allocs != 0 {
+		t.Errorf("PredictScratch allocates %.1f times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		n.LogitsScratch(sc, x)
+	}); allocs != 0 {
+		t.Errorf("LogitsScratch allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestSoftmaxInto checks the in-place variant, including aliasing.
+func TestSoftmaxInto(t *testing.T) {
+	logits := []float64{1, 2, 3}
+	want := Softmax(logits)
+	got := SoftmaxInto(logits, logits) // aliased
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("aliased SoftmaxInto differs at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

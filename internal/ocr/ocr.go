@@ -15,6 +15,7 @@ package ocr
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"tdmagic/internal/dataset"
 	"tdmagic/internal/font"
@@ -39,7 +40,21 @@ type Template struct {
 // Model is a trained glyph recogniser.
 type Model struct {
 	Templates map[rune]*Template
+
+	// grids pools the occupancy-grid buffer reused across the glyphs of a
+	// recognition call, keeping the classifier inner loop allocation-light
+	// even under concurrent batch translation.
+	grids sync.Pool
 }
+
+func (m *Model) getGrid() []float64 {
+	if g, ok := m.grids.Get().(*[]float64); ok {
+		return *g
+	}
+	return make([]float64, gridW*gridH)
+}
+
+func (m *Model) putGrid(g []float64) { m.grids.Put(&g) }
 
 // Charset returns the characters the model can emit.
 func (m *Model) Charset() []rune {
@@ -90,7 +105,12 @@ func inkBox(bw *imgproc.Binary, r geom.Rect) geom.Rect {
 
 // sampleGrid resamples the ink of box into a gridW×gridH occupancy grid.
 func sampleGrid(bw *imgproc.Binary, box geom.Rect) []float64 {
-	g := make([]float64, gridW*gridH)
+	return sampleGridInto(make([]float64, gridW*gridH), bw, box)
+}
+
+// sampleGridInto is sampleGrid writing into g (length gridW*gridH), the
+// buffer-reusing variant of the recognition hot path.
+func sampleGridInto(g []float64, bw *imgproc.Binary, box geom.Rect) []float64 {
 	w, h := box.W(), box.H()
 	for gy := 0; gy < gridH; gy++ {
 		for gx := 0; gx < gridW; gx++ {
@@ -113,25 +133,20 @@ func sampleGrid(bw *imgproc.Binary, box geom.Rect) []float64 {
 					}
 				}
 			}
+			cell := 0.0
 			if tot > 0 {
-				g[gy*gridW+gx] = float64(n) / float64(tot)
+				cell = float64(n) / float64(tot)
 			}
+			g[gy*gridW+gx] = cell
 		}
 	}
 	return g
 }
 
-// glyph is one segmented character candidate within a text line.
-type glyph struct {
-	box    geom.Rect
-	grid   []float64
-	aspect float64
-}
-
-// segmentGlyphs splits the ink inside a text box into per-character glyphs
-// using the column projection: runs of inked columns separated by blank
-// columns.
-func segmentGlyphs(bw *imgproc.Binary, box geom.Rect) []glyph {
+// segmentBoxes splits the ink inside a text box into per-character tight
+// boxes using the column projection: runs of inked columns separated by
+// blank columns.
+func segmentBoxes(bw *imgproc.Binary, box geom.Rect) []geom.Rect {
 	box = box.Clip(bw.Bounds())
 	if box.Empty() {
 		return nil
@@ -145,7 +160,7 @@ func segmentGlyphs(bw *imgproc.Binary, box geom.Rect) []glyph {
 			}
 		}
 	}
-	var glyphs []glyph
+	var boxes []geom.Rect
 	start := -1
 	for i := 0; i <= len(colInk); i++ {
 		inked := i < len(colInk) && colInk[i]
@@ -155,26 +170,23 @@ func segmentGlyphs(bw *imgproc.Binary, box geom.Rect) []glyph {
 			sub := geom.Rect{X0: box.X0 + start, Y0: box.Y0, X1: box.X0 + i - 1, Y1: box.Y1}
 			tight := inkBox(bw, sub)
 			if !tight.Empty() {
-				glyphs = append(glyphs, glyph{
-					box:    tight,
-					grid:   sampleGrid(bw, tight),
-					aspect: float64(tight.W()) / float64(tight.H()),
-				})
+				boxes = append(boxes, tight)
 			}
 			start = -1
 		}
 	}
-	return glyphs
+	return boxes
 }
 
-// classify returns the best-matching character for a glyph and a confidence
-// in (0, 1] (1 = perfect template match).
-func (m *Model) classify(g glyph) (rune, float64) {
+// classifyGrid returns the best-matching character for an occupancy grid
+// with the given aspect ratio, and a confidence in (0, 1] (1 = perfect
+// template match).
+func (m *Model) classifyGrid(grid []float64, aspect float64) (rune, float64) {
 	best := rune(0)
 	bestDist := 1e18
 	for ch, t := range m.Templates {
-		d := gridDist(g.grid, t.Grid)
-		ar := g.aspect / t.Aspect
+		d := gridDist(grid, t.Grid)
+		ar := aspect / t.Aspect
 		if ar < 1 {
 			ar = 1 / ar
 		}
@@ -214,13 +226,21 @@ type readGlyph struct {
 	box  geom.Rect
 }
 
-// readGlyphs segments and classifies every glyph in a text box.
+// readGlyphs segments and classifies every glyph in a text box. One pooled
+// grid buffer serves all glyphs of the call, so the classifier loop does
+// not allocate per character.
 func (m *Model) readGlyphs(bw *imgproc.Binary, box geom.Rect) []readGlyph {
-	glyphs := segmentGlyphs(bw, box)
-	out := make([]readGlyph, 0, len(glyphs))
-	for _, g := range glyphs {
-		ch, conf := m.classify(g)
-		out = append(out, readGlyph{ch: ch, conf: conf, box: g.box})
+	boxes := segmentBoxes(bw, box)
+	if len(boxes) == 0 {
+		return nil
+	}
+	grid := m.getGrid()
+	defer m.putGrid(grid)
+	out := make([]readGlyph, 0, len(boxes))
+	for _, gb := range boxes {
+		sampleGridInto(grid, bw, gb)
+		ch, conf := m.classifyGrid(grid, float64(gb.W())/float64(gb.H()))
+		out = append(out, readGlyph{ch: ch, conf: conf, box: gb})
 	}
 	return out
 }
@@ -280,27 +300,31 @@ func (m *Model) RecognizeLine(bw *imgproc.Binary, box geom.Rect) (string, float6
 // exploit, applicable here because the typesetting is known).
 func (m *Model) Train(samples []*dataset.Sample) int {
 	aligned := 0
+	grid := m.getGrid()
+	defer m.putGrid(grid)
 	for _, s := range samples {
 		bw := imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))
 		for _, tb := range s.Texts {
 			chars := plainChars(tb.Text)
-			glyphs := segmentGlyphs(bw, tb.Box)
-			if len(chars) == 0 || len(glyphs) != len(chars) {
+			boxes := segmentBoxes(bw, tb.Box)
+			if len(chars) == 0 || len(boxes) != len(chars) {
 				continue
 			}
 			aligned++
-			for i, g := range glyphs {
+			for i, gb := range boxes {
+				sampleGridInto(grid, bw, gb)
+				aspect := float64(gb.W()) / float64(gb.H())
 				ch := chars[i]
 				t := m.Templates[ch]
 				if t == nil {
-					t = &Template{Grid: make([]float64, gridW*gridH), Aspect: g.aspect}
+					t = &Template{Grid: make([]float64, gridW*gridH), Aspect: aspect}
 					m.Templates[ch] = t
 				}
 				n := float64(t.Count)
 				for j := range t.Grid {
-					t.Grid[j] = (t.Grid[j]*n + g.grid[j]) / (n + 1)
+					t.Grid[j] = (t.Grid[j]*n + grid[j]) / (n + 1)
 				}
-				t.Aspect = (t.Aspect*n + g.aspect) / (n + 1)
+				t.Aspect = (t.Aspect*n + aspect) / (n + 1)
 				t.Count++
 			}
 		}

@@ -200,12 +200,12 @@ func TestLexiconCorrect(t *testing.T) {
 
 func TestSegmentGlyphsCount(t *testing.T) {
 	bw, box := renderText("ABC", 2)
-	glyphs := segmentGlyphs(bw, box)
+	glyphs := segmentBoxes(bw, box)
 	if len(glyphs) != 3 {
 		t.Errorf("segmented %d glyphs, want 3", len(glyphs))
 	}
 	bw2, box2 := renderText("t_{D(on)}", 3)
-	glyphs2 := segmentGlyphs(bw2, box2)
+	glyphs2 := segmentBoxes(bw2, box2)
 	if len(glyphs2) != 6 { // t D ( o n )
 		t.Errorf("segmented %d glyphs, want 6", len(glyphs2))
 	}
@@ -213,7 +213,7 @@ func TestSegmentGlyphsCount(t *testing.T) {
 
 func TestSegmentGlyphsOutOfBounds(t *testing.T) {
 	bw := imgproc.NewBinary(10, 10)
-	if g := segmentGlyphs(bw, geom.Rect{X0: 100, Y0: 100, X1: 120, Y1: 120}); g != nil {
+	if g := segmentBoxes(bw, geom.Rect{X0: 100, Y0: 100, X1: 120, Y1: 120}); g != nil {
 		t.Error("out-of-bounds segmentation returned glyphs")
 	}
 }

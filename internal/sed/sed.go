@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"tdmagic/internal/dataset"
 	"tdmagic/internal/geom"
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/lad"
 	"tdmagic/internal/nn"
+	"tdmagic/internal/parallel"
 	"tdmagic/internal/spo"
 )
 
@@ -69,6 +71,24 @@ type Detection struct {
 type Model struct {
 	Net *nn.Net
 	Cfg Config
+
+	// scratch pools per-goroutine inference buffers so Detect performs no
+	// transient allocation in its classify loop, including when many
+	// goroutines translate pictures concurrently (core.TranslateAll).
+	scratch sync.Pool
+}
+
+// detectScratch is the reusable working state of one Detect call.
+type detectScratch struct {
+	feat []float64
+	nn   *nn.Scratch
+}
+
+func (m *Model) getScratch() *detectScratch {
+	if sc, ok := m.scratch.Get().(*detectScratch); ok {
+		return sc
+	}
+	return &detectScratch{feat: make([]float64, FeatureSize), nn: m.Net.NewScratch()}
 }
 
 // cleanup returns the proposal working image: bw minus dashed annotation
@@ -302,7 +322,14 @@ const gridN = 12
 // features describing where the surrounding waveform ink sits (the plateau
 // positions disambiguate rise from fall).
 func Features(bw *imgproc.Binary, box geom.Rect, imgW, imgH int) []float64 {
-	f := make([]float64, 0, FeatureSize)
+	return FeaturesInto(make([]float64, 0, FeatureSize), bw, box, imgW, imgH)
+}
+
+// FeaturesInto is Features writing into dst's backing array (dst needs
+// capacity FeatureSize to stay allocation-free). It returns the filled
+// slice, the hot-path variant used by Detect and training workers.
+func FeaturesInto(dst []float64, bw *imgproc.Binary, box geom.Rect, imgW, imgH int) []float64 {
+	f := dst[:0]
 	w, h := box.W(), box.H()
 	// Occupancy grid.
 	for gy := 0; gy < gridN; gy++ {
@@ -412,6 +439,10 @@ type TrainConfig struct {
 	Epochs    int
 	BatchSize int
 	LR        float64
+	// Workers fans the per-sample featurisation and the minibatch gradient
+	// computation out over a worker pool (<= 0 means GOMAXPROCS). The
+	// trained model is identical for any worker count.
+	Workers int
 }
 
 // DefaultTrainConfig mirrors the paper's 30-epoch regime at a small scale.
@@ -419,41 +450,62 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Hidden: 48, Epochs: 30, BatchSize: 64, LR: 3e-3}
 }
 
+// exampleSet extracts the training examples of one labelled picture:
+// binarise, detect lines, propose candidates, featurise. This per-sample
+// stage is independent across samples and runs on the worker pool.
+func exampleSet(s *dataset.Sample, cfg Config) []nn.Sample {
+	var out []nn.Sample
+	bw := imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))
+	lines := lad.DetectBinary(bw, lad.DefaultConfig())
+	props := Propose(bw, lines, cfg)
+	for _, p := range props {
+		label := background
+		bestIoU := 0.0
+		for _, gt := range s.Edges {
+			if iou := p.IoU(gt.Box); iou > bestIoU {
+				bestIoU = iou
+				if iou >= 0.5 {
+					label = int(gt.Type)
+				}
+			}
+		}
+		if bestIoU >= 0.2 && label == background {
+			continue // ambiguous: skip
+		}
+		out = append(out, nn.Sample{X: Features(bw, p, s.Image.W, s.Image.H), Y: label})
+	}
+	for _, gt := range s.Edges {
+		out = append(out, nn.Sample{X: Features(bw, gt.Box, s.Image.W, s.Image.H), Y: int(gt.Type)})
+	}
+	return out
+}
+
 // Train fits an edge classifier on labelled samples. Positives come from
 // matched proposals and from the ground-truth boxes themselves; unmatched
 // proposals become background examples.
+//
+// The binarise→LAD→propose→featurise stage runs per sample on tc.Workers
+// goroutines; examples are collected in input order, so the resulting model
+// does not depend on the worker count.
 func Train(rng *rand.Rand, samples []*dataset.Sample, cfg Config, tc TrainConfig) (*Model, error) {
-	var train []nn.Sample
-	for _, s := range samples {
-		bw := imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))
-		lines := lad.DetectBinary(bw, lad.DefaultConfig())
-		props := Propose(bw, lines, cfg)
-		for _, p := range props {
-			label := background
-			bestIoU := 0.0
-			for _, gt := range s.Edges {
-				if iou := p.IoU(gt.Box); iou > bestIoU {
-					bestIoU = iou
-					if iou >= 0.5 {
-						label = int(gt.Type)
-					}
-				}
-			}
-			if bestIoU >= 0.2 && label == background {
-				continue // ambiguous: skip
-			}
-			train = append(train, nn.Sample{X: Features(bw, p, s.Image.W, s.Image.H), Y: label})
-		}
-		for _, gt := range s.Edges {
-			train = append(train, nn.Sample{X: Features(bw, gt.Box, s.Image.W, s.Image.H), Y: int(gt.Type)})
-		}
+	perSample := make([][]nn.Sample, len(samples))
+	parallel.For(tc.Workers, len(samples), func(i int) {
+		perSample[i] = exampleSet(samples[i], cfg)
+	})
+	total := 0
+	for _, ex := range perSample {
+		total += len(ex)
+	}
+	train := make([]nn.Sample, 0, total)
+	for _, ex := range perSample {
+		train = append(train, ex...)
 	}
 	if len(train) == 0 {
 		return nil, fmt.Errorf("sed: no training examples from %d samples", len(samples))
 	}
 	net := nn.NewNet(rng, FeatureSize, tc.Hidden, background+1)
 	if _, err := net.Train(rng, train, nn.TrainConfig{
-		Epochs: tc.Epochs, BatchSize: tc.BatchSize, LR: tc.LR,
+		Epochs: tc.Epochs, BatchSize: tc.BatchSize, LR: tc.LR, Workers: tc.Workers,
 	}); err != nil {
 		return nil, err
 	}
@@ -461,13 +513,17 @@ func Train(rng *rand.Rand, samples []*dataset.Sample, cfg Config, tc TrainConfig
 }
 
 // Detect runs the full detector on a picture: propose, classify, filter.
+// The classify loop reuses pooled feature and activation buffers, so it
+// performs no transient allocation per candidate.
 func (m *Model) Detect(img *imgproc.Gray, lines *lad.Result) []Detection {
 	bw := lines.BW
 	props := Propose(bw, lines, m.Cfg)
+	sc := m.getScratch()
+	defer m.scratch.Put(sc)
 	var dets []Detection
 	for _, p := range props {
-		feat := Features(bw, p, img.W, img.H)
-		class, prob := m.Net.Predict(feat)
+		sc.feat = FeaturesInto(sc.feat, bw, p, img.W, img.H)
+		class, prob := m.Net.PredictScratch(sc.nn, sc.feat)
 		if class == background || prob < m.Cfg.ScoreThreshold {
 			continue
 		}

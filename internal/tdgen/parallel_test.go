@@ -1,0 +1,76 @@
+package tdgen
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSeededWorkerCountInvariant pins the tentpole guarantee: a seeded
+// generator produces the identical sample set for any worker count.
+func TestSeededWorkerCountInvariant(t *testing.T) {
+	const n = 12
+	base, err := NewSeeded(DefaultConfig(G1), 42).GenerateNWorkers(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := NewSeeded(DefaultConfig(G1), 42).GenerateNWorkers(n, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d samples", workers, len(got))
+		}
+		for i := range base {
+			if base[i].Name != got[i].Name {
+				t.Fatalf("workers=%d: sample %d name %q != %q", workers, i, got[i].Name, base[i].Name)
+			}
+			if !reflect.DeepEqual(base[i].Image.Pix, got[i].Image.Pix) {
+				t.Fatalf("workers=%d: sample %d pixels differ", workers, i)
+			}
+			if !reflect.DeepEqual(base[i].Truth, got[i].Truth) {
+				t.Fatalf("workers=%d: sample %d ground-truth SPO differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestSeededIndexIndependence checks that a sample's content depends only on
+// its index, not on what was generated before it.
+func TestSeededIndexIndependence(t *testing.T) {
+	g1 := NewSeeded(DefaultConfig(G1), 7)
+	all, err := g1.GenerateNWorkers(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := NewSeeded(DefaultConfig(G1), 7).GenerateAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Name != all[3].Name || !reflect.DeepEqual(direct.Image.Pix, all[3].Image.Pix) {
+		t.Error("GenerateAt(3) differs from the 4th sample of a sequential run")
+	}
+	// A second batch continues the index stream.
+	next, err := g1.GenerateNWorkers(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at5, err := NewSeeded(DefaultConfig(G1), 7).GenerateAt(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next[0].Name != at5.Name || !reflect.DeepEqual(next[0].Image.Pix, at5.Image.Pix) {
+		t.Error("second batch does not continue the index stream")
+	}
+}
+
+// TestGenerateAtPanicsOnSharedStream documents the seeded-only contract.
+func TestGenerateAtPanicsOnSharedStream(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g := New(DefaultConfig(G1), nil)
+	g.GenerateAt(0) //nolint:errcheck // panics before returning
+}

@@ -28,6 +28,7 @@ import (
 
 	"tdmagic/internal/dataset"
 	"tdmagic/internal/diagram"
+	"tdmagic/internal/parallel"
 	"tdmagic/internal/polytope"
 	"tdmagic/internal/spo"
 )
@@ -104,15 +105,41 @@ func DefaultConfig(mode Mode) Config {
 }
 
 // Generator produces labelled synthetic timing diagrams.
+//
+// A generator built with New draws every sample from one shared random
+// stream, so samples depend on generation order. A generator built with
+// NewSeeded instead derives an independent child stream per sample index
+// from the master seed, which makes each sample a self-contained unit of
+// work: GenerateNWorkers produces the identical sample set for any worker
+// count.
 type Generator struct {
-	cfg Config
-	rng *rand.Rand
-	n   int // serial for names
+	cfg    Config
+	rng    *rand.Rand // shared-stream mode (New)
+	seed   int64      // per-sample-stream mode (NewSeeded)
+	seeded bool
+	n      int // serial for names / next sample index
 }
 
 // New returns a generator for the given config, drawing randomness from rng.
 func New(cfg Config, rng *rand.Rand) *Generator {
 	return &Generator{cfg: cfg, rng: rng}
+}
+
+// NewSeeded returns a generator whose i-th sample is drawn from its own
+// random stream derived from (seed, i). Sample content then depends only on
+// the seed and the sample index — not on how many samples were generated
+// before it on this Generator, nor on how many workers GenerateNWorkers
+// fans out over.
+func NewSeeded(cfg Config, seed int64) *Generator {
+	return &Generator{cfg: cfg, seed: seed, seeded: true}
+}
+
+// gen is the per-sample generation context: one random stream plus the
+// config. In seeded mode each sample gets a fresh gen, so concurrent
+// workers share nothing mutable.
+type gen struct {
+	cfg Config
+	rng *rand.Rand
 }
 
 // signal-name and timing-parameter pools, mirroring common datasheet
@@ -140,7 +167,7 @@ var (
 
 // pickKind draws a signal kind with the class balance that produces the
 // paper's Table I label mix (ramps dominate, doubles are rare).
-func (g *Generator) pickKind() diagram.SignalKind {
+func (g *gen) pickKind() diagram.SignalKind {
 	switch r := g.rng.Float64(); {
 	case r < 0.776:
 		return diagram.Ramp
@@ -152,7 +179,7 @@ func (g *Generator) pickKind() diagram.SignalKind {
 }
 
 // pickKindG3 focuses on ramp and double signals (Group G3).
-func (g *Generator) pickKindG3() diagram.SignalKind {
+func (g *gen) pickKindG3() diagram.SignalKind {
 	if g.rng.Float64() < 0.7 {
 		return diagram.Ramp
 	}
@@ -172,22 +199,49 @@ type layoutVars struct {
 // columns nearly coincide are re-drawn: two events on the same vertical
 // line would merge into a single annotation line, which a designer avoids.
 func (g *Generator) Generate() (*dataset.Sample, error) {
+	i := g.n
 	g.n++
+	return g.generateAt(i)
+}
+
+// GenerateAt produces the sample with index i (0-based) of a seeded
+// generator's stream, independently of any other sample. It panics on a
+// generator built with New, whose samples share one random stream.
+func (g *Generator) GenerateAt(i int) (*dataset.Sample, error) {
+	if !g.seeded {
+		panic("tdgen: GenerateAt requires a NewSeeded generator")
+	}
+	return g.generateAt(i)
+}
+
+// generateAt builds sample i using the appropriate random stream: the
+// per-index child stream in seeded mode, the shared stream otherwise.
+func (g *Generator) generateAt(i int) (*dataset.Sample, error) {
+	rng := g.rng
+	if g.seeded {
+		rng = rand.New(rand.NewSource(parallel.Seed(g.seed, int64(i))))
+	}
+	return (&gen{cfg: g.cfg, rng: rng}).generate(i + 1)
+}
+
+// generate builds one sample with the given name serial, retrying layouts
+// whose event columns nearly coincide.
+func (g *gen) generate(serial int) (*dataset.Sample, error) {
 	const retries = 24
 	var last *dataset.Sample
 	var err error
 	for attempt := 0; attempt < retries; attempt++ {
 		switch g.cfg.Mode {
 		case G2:
-			last, err = g.generateSingle(fmt.Sprintf("g2-%05d", g.n), false)
+			last, err = g.generateSingle(fmt.Sprintf("g2-%05d", serial), false)
 		case G3:
 			if g.rng.Float64() < 0.4 {
-				last, err = g.generateSingle(fmt.Sprintf("g3-%05d", g.n), true)
+				last, err = g.generateSingle(fmt.Sprintf("g3-%05d", serial), true)
 			} else {
-				last, err = g.generatePair(fmt.Sprintf("g3-%05d", g.n), true)
+				last, err = g.generatePair(fmt.Sprintf("g3-%05d", serial), true)
 			}
 		default:
-			last, err = g.generatePair(fmt.Sprintf("g1-%05d", g.n), false)
+			last, err = g.generatePair(fmt.Sprintf("g1-%05d", serial), false)
 		}
 		if err != nil {
 			return nil, err
@@ -218,13 +272,38 @@ func eventColumnsSeparated(s *dataset.Sample, minDX int) bool {
 
 // GenerateN produces n labelled diagrams.
 func (g *Generator) GenerateN(n int) ([]*dataset.Sample, error) {
-	out := make([]*dataset.Sample, 0, n)
-	for i := 0; i < n; i++ {
-		s, err := g.Generate()
-		if err != nil {
-			return nil, fmt.Errorf("tdgen: sample %d: %w", i, err)
+	return g.GenerateNWorkers(n, 1)
+}
+
+// GenerateNWorkers produces n labelled diagrams, fanning the work out over
+// workers goroutines (<= 0 means GOMAXPROCS). On a seeded generator the
+// output is identical for any worker count, because each sample draws from
+// its own index-derived random stream; a shared-stream generator (New)
+// falls back to sequential generation to preserve its stream order.
+func (g *Generator) GenerateNWorkers(n, workers int) ([]*dataset.Sample, error) {
+	out := make([]*dataset.Sample, n)
+	if !g.seeded {
+		for i := 0; i < n; i++ {
+			s, err := g.Generate()
+			if err != nil {
+				return nil, fmt.Errorf("tdgen: sample %d: %w", i, err)
+			}
+			out[i] = s
 		}
-		out = append(out, s)
+		return out, nil
+	}
+	base := g.n
+	g.n += n
+	err := parallel.ForErr(workers, n, func(i int) error {
+		s, err := g.generateAt(base + i)
+		if err != nil {
+			return fmt.Errorf("tdgen: sample %d: %w", base+i, err)
+		}
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -245,7 +324,7 @@ var interCases = []interCase{
 }
 
 // generatePair builds the default two-signal TD (modes G1/G3).
-func (g *Generator) generatePair(name string, rampFocus bool) (*dataset.Sample, error) {
+func (g *gen) generatePair(name string, rampFocus bool) (*dataset.Sample, error) {
 	cfg := g.cfg
 	caseIdx := g.rng.Intn(len(interCases))
 	ic := interCases[caseIdx]
@@ -390,7 +469,7 @@ func (g *Generator) generatePair(name string, rampFocus bool) (*dataset.Sample, 
 
 // intraRows chooses annotation rows for intra arrows that avoid the
 // sampled inter rows.
-func (g *Generator) intraRows(x []float64, v layoutVars, n int) []float64 {
+func (g *gen) intraRows(x []float64, v layoutVars, n int) []float64 {
 	used := make([]float64, 0, len(v.ya))
 	for _, ya := range v.ya {
 		used = append(used, x[ya])
@@ -438,7 +517,7 @@ func annotFrac(nArrows int) float64 {
 // riseFirst selects the rise-then-fall (Signal_1) or fall-then-rise
 // (Signal_2) pattern. ys holds, for riseFirst, {y11d, y1u, y12d}; otherwise
 // {y21u, y2d, y22u}.
-func (g *Generator) buildSignal(name string, kind diagram.SignalKind, riseFirst bool, xs [4]float64, ys [3]float64) diagram.Signal {
+func (g *gen) buildSignal(name string, kind diagram.SignalKind, riseFirst bool, xs [4]float64, ys [3]float64) diagram.Signal {
 	s := diagram.Signal{Name: name, Kind: kind}
 	mk := func(t spo.EdgeType, x0, x1, lo, hi float64) diagram.Edge {
 		e := diagram.Edge{Type: t, X0: x0, X1: x1, YLow: lo, YHigh: hi}
@@ -505,7 +584,7 @@ func maxF(a, b float64) float64 {
 }
 
 // markEvents sets HasEvent on every edge referenced by an arrow.
-func (g *Generator) markEvents(d *diagram.Diagram) {
+func (g *gen) markEvents(d *diagram.Diagram) {
 	for _, a := range d.Arrows {
 		for _, r := range []diagram.EventRef{a.From, a.To} {
 			d.Signals[r.Signal].Edges[r.Edge].HasEvent = true
@@ -517,7 +596,7 @@ func (g *Generator) markEvents(d *diagram.Diagram) {
 // and boundary values — and varies the drawing style so the trained models
 // see the stroke widths, text sizes and canvas shapes found in real
 // datasheets ("maximise the diversity of their shapes").
-func (g *Generator) decorate(d *diagram.Diagram) {
+func (g *gen) decorate(d *diagram.Diagram) {
 	d.Style.ShowAxes = g.rng.Float64() < 0.5
 	if g.rng.Float64() < 0.4 {
 		si := g.rng.Intn(len(d.Signals))
@@ -537,7 +616,7 @@ func (g *Generator) decorate(d *diagram.Diagram) {
 }
 
 // generateSingle builds a one-big-signal TD (mode G2, and part of G3).
-func (g *Generator) generateSingle(name string, rampFocus bool) (*dataset.Sample, error) {
+func (g *gen) generateSingle(name string, rampFocus bool) (*dataset.Sample, error) {
 	cfg := g.cfg
 	sys := polytope.NewSystem(7)
 	const (
@@ -590,7 +669,7 @@ func (g *Generator) generateSingle(name string, rampFocus bool) (*dataset.Sample
 }
 
 // pickNames draws n distinct signal names.
-func (g *Generator) pickNames(n int) []string {
+func (g *gen) pickNames(n int) []string {
 	perm := g.rng.Perm(len(signalNamePool))
 	out := make([]string, n)
 	for i := 0; i < n; i++ {
@@ -600,7 +679,7 @@ func (g *Generator) pickNames(n int) []string {
 }
 
 // pickDelays draws n distinct timing-parameter labels.
-func (g *Generator) pickDelays(n int) []string {
+func (g *gen) pickDelays(n int) []string {
 	perm := g.rng.Perm(len(delayPool))
 	out := make([]string, n)
 	for i := 0; i < n; i++ {

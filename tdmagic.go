@@ -146,6 +146,13 @@ func NewGenerator(mode tdgen.Mode, seed int64) *Generator {
 	return tdgen.New(tdgen.DefaultConfig(mode), rand.New(rand.NewSource(seed)))
 }
 
+// NewSeededGenerator returns an L-TD-G generator whose samples draw from
+// per-index rng streams: Generator.GenerateNWorkers fans generation over a
+// worker pool and produces the identical sample set for any worker count.
+func NewSeededGenerator(mode tdgen.Mode, seed int64) *Generator {
+	return tdgen.NewSeeded(tdgen.DefaultConfig(mode), seed)
+}
+
 // IndustrialCorpus generates the 30-diagram extrapolation corpus with the
 // paper's corpus statistics and corner cases.
 func IndustrialCorpus(seed int64) ([]*Sample, error) { return industrial.Corpus(seed) }
