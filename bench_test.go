@@ -449,6 +449,23 @@ func BenchmarkNoiseRobustness(b *testing.B) {
 	b.ReportMetric(res.Points[1].TemplateLevel, "template-noisy")
 }
 
+// BenchmarkAnalyze measures the perception stages alone (binarise, LAD
+// morphology, SED proposal+classify, OCR detect+read) on the Fig. 1 picture —
+// the per-image hot path the bit-packed kernels accelerate, without the SEI
+// graph construction.
+func BenchmarkAnalyze(b *testing.B) {
+	pipe, _, _ := benchSetup(b)
+	sample, err := fig1Diagram().Render()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pipe.Analyze(sample.Image)
+	}
+}
+
 // BenchmarkBatchTranslateThroughput measures concurrent batch translation
 // over the industrial corpus (pictures per second with all cores).
 func BenchmarkBatchTranslateThroughput(b *testing.B) {

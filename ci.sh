@@ -1,15 +1,23 @@
 #!/bin/sh
 # ci.sh — the checks a change must pass before merging:
-#   1. go vet         static analysis (also catches sync.Pool copies)
-#   2. go build       every package compiles
-#   3. go test -race  full suite under the race detector; the parallel
-#                     training pipeline and the pooled inference scratch
-#                     buffers are only trustworthy race-clean
-#   4. benchmark smoke run: one iteration of the Fig. 1 single-image
-#                     pipeline, so the hot path is exercised end to end
+#   1. gofmt -l       formatting is canonical (fails on any unformatted file)
+#   2. go vet         static analysis (also catches sync.Pool copies)
+#   3. go build       every package compiles
+#   4. go test -race  full suite under the race detector; the parallel
+#                     training pipeline, the pooled inference scratch
+#                     buffers and the concurrent SED/OCR perception stages
+#                     are only trustworthy race-clean
+#   5. benchmark smoke run: one iteration of the Fig. 1 single-image
+#                     pipeline plus the bit-packed kernel micro-benchmarks
+#                     (imgproc word ops, morphology, perception stage), so
+#                     every hot path is exercised end to end
 set -eux
 
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test -race ./...
 go test -run '^$' -bench BenchmarkFig1PipelineSingleImage -benchtime 1x .
+go test -run '^$' -bench BenchmarkBinaryOps -benchtime 1x ./internal/imgproc
+go test -run '^$' -bench BenchmarkMorphContours -benchtime 1x ./internal/morph
+go test -run '^$' -bench 'BenchmarkAnalyze$' -benchtime 1x .

@@ -7,12 +7,14 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"tdmagic/internal/dataset"
 	"tdmagic/internal/geom"
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/lad"
 	"tdmagic/internal/ocr"
+	"tdmagic/internal/parallel"
 	"tdmagic/internal/sed"
 	"tdmagic/internal/sei"
 	"tdmagic/internal/spo"
@@ -65,7 +67,9 @@ func DefaultTrainConfig() TrainConfig {
 
 // Train fits a pipeline on labelled synthetic samples: the SED classifier
 // is trained from scratch, and the OCR glyph templates are refined from the
-// samples' text crops.
+// samples' text crops. Each sample is binarised exactly once (in parallel)
+// and the packed image is shared between the two trainers — SED and OCR
+// previously each ran their own Otsu pass over every picture.
 func Train(rng *rand.Rand, samples []*dataset.Sample, cfg TrainConfig) (*Pipeline, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: no training samples")
@@ -73,12 +77,17 @@ func Train(rng *rand.Rand, samples []*dataset.Sample, cfg TrainConfig) (*Pipelin
 	if cfg.SEDTrain.Workers == 0 {
 		cfg.SEDTrain.Workers = cfg.Workers
 	}
-	sedModel, err := sed.Train(rng, samples, cfg.SEDCfg, cfg.SEDTrain)
+	bws := make([]*imgproc.Binary, len(samples))
+	parallel.For(cfg.Workers, len(samples), func(i int) {
+		img := samples[i].Image
+		bws[i] = imgproc.Threshold(img, imgproc.OtsuThreshold(img))
+	})
+	sedModel, err := sed.Train(rng, samples, bws, cfg.SEDCfg, cfg.SEDTrain)
 	if err != nil {
 		return nil, fmt.Errorf("core: SED training: %w", err)
 	}
 	ocrModel := ocr.NewFontModel()
-	ocrModel.Train(samples)
+	ocrModel.Train(samples, bws)
 	seiCfg := cfg.SEICfg
 	if len(cfg.NameLexicon) > 0 {
 		seiCfg.NameLexicon = ocr.NewLexicon(cfg.NameLexicon)
@@ -115,7 +124,9 @@ func (p *Pipeline) Translate(img *imgproc.Gray) (*spo.SPO, *Report, error) {
 // TranslateWithEdges runs LAD + OCR + SEI with externally supplied edge
 // boxes (e.g. ground truth, for oracle experiments and ablations).
 func (p *Pipeline) TranslateWithEdges(img *imgproc.Gray, edges []sed.Detection) (*spo.SPO, *Report, error) {
-	rep := p.analyze(img)
+	// The supplied edges replace SED's output wholesale, so the detector
+	// stage is skipped entirely.
+	rep := p.analyzeStages(img, false)
 	rep.Edges = edges
 	out, err := sei.Interpret(sei.Input{
 		Width:  img.W,
@@ -131,18 +142,44 @@ func (p *Pipeline) TranslateWithEdges(img *imgproc.Gray, edges []sed.Detection) 
 	return out.SPO, rep, nil
 }
 
+// Analyze runs only the perception stages (binarisation, LAD, SED, OCR) on
+// img, without semantic interpretation. It is the unit the perception
+// micro-benchmarks measure and is also useful for debugging tools that want
+// the intermediate report without an SPO.
+func (p *Pipeline) Analyze(img *imgproc.Gray) *Report { return p.analyze(img) }
+
 // analyze runs the perception stages shared by every translation mode.
 // Edge detections that coincide with recognised text are discarded: a
 // glyph like the signal name "X" is itself a small double-ramp shape, and
 // only the cross-check against OCR separates the two readings.
 func (p *Pipeline) analyze(img *imgproc.Gray) *Report {
+	return p.analyzeStages(img, true)
+}
+
+// analyzeStages runs LAD, then SED and OCR concurrently. The picture is
+// binarised once inside lad.Detect and both downstream stages read the
+// shared packed image (and the contour result) without mutating either, so
+// they are free to overlap; the text/edge cross-check runs after the join
+// and the report is bit-identical to the sequential order.
+func (p *Pipeline) analyzeStages(img *imgproc.Gray, runSED bool) *Report {
 	lines := lad.Detect(img, p.LADCfg)
 	rep := &Report{Lines: lines}
+	runSED = runSED && p.SED != nil
+	var edges []sed.Detection
+	var wg sync.WaitGroup
+	if runSED {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			edges = p.SED.Detect(img, lines)
+		}()
+	}
 	if p.OCR != nil {
 		rep.Texts = p.OCR.ReadAll(lines.BW, lines, p.OCRCfg)
 	}
-	if p.SED != nil {
-		rep.Edges = dropTextOverlaps(p.SED.Detect(img, lines), rep.Texts)
+	if runSED {
+		wg.Wait()
+		rep.Edges = dropTextOverlaps(edges, rep.Texts)
 	}
 	return rep
 }

@@ -98,8 +98,8 @@ func TestDrawGlyphScale2(t *testing.T) {
 func TestDrawGlyphScaleClamped(t *testing.T) {
 	b0 := renderToBinary(10, 10, func(set SetFunc) { DrawGlyph(set, 0, 0, 'A', 0) })
 	b1 := renderToBinary(10, 10, func(set SetFunc) { DrawGlyph(set, 0, 0, 'A', 1) })
-	for i := range b0.Pix {
-		if b0.Pix[i] != b1.Pix[i] {
+	for i := range b0.Words {
+		if b0.Words[i] != b1.Words[i] {
 			t.Fatal("scale 0 should clamp to 1")
 		}
 	}
@@ -220,8 +220,8 @@ func TestDrawRichSubscriptBelowBaseline(t *testing.T) {
 func TestDrawRichPlainEqualsDrawString(t *testing.T) {
 	a := renderToBinary(100, 20, func(set SetFunc) { DrawString(set, 0, 0, "SCK", 2) })
 	b := renderToBinary(100, 20, func(set SetFunc) { DrawRich(set, 0, 0, "SCK", 2) })
-	for i := range a.Pix {
-		if a.Pix[i] != b.Pix[i] {
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
 			t.Fatal("DrawRich on plain text differs from DrawString")
 		}
 	}

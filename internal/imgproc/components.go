@@ -1,6 +1,7 @@
 package imgproc
 
 import (
+	"math/bits"
 	"sort"
 
 	"tdmagic/internal/geom"
@@ -16,6 +17,10 @@ type Component struct {
 // Components labels b with 8-connectivity and returns every connected
 // component of set pixels, sorted top-to-bottom then left-to-right by
 // bounding-box origin. Components with fewer than minArea pixels are dropped.
+//
+// The scan for unvisited seed pixels walks the packed words (a trailing-zero
+// scan skips blank stretches 64 pixels at a time); the flood fill itself is
+// per-pixel.
 func Components(b *Binary, minArea int) []Component {
 	labels := make([]int32, b.W*b.H)
 	for i := range labels {
@@ -25,41 +30,46 @@ func Components(b *Binary, minArea int) []Component {
 	// Iterative BFS flood fill to stay stack-safe on large blobs.
 	queue := make([]geom.Pt, 0, 256)
 	for y := 0; y < b.H; y++ {
-		for x := 0; x < b.W; x++ {
-			idx := y*b.W + x
-			if !b.Pix[idx] || labels[idx] >= 0 {
-				continue
-			}
-			id := int32(len(comps))
-			labels[idx] = id
-			queue = queue[:0]
-			queue = append(queue, geom.Pt{X: x, Y: y})
-			comp := Component{Box: geom.Rect{X0: x, Y0: y, X1: x, Y1: y}}
-			for len(queue) > 0 {
-				p := queue[len(queue)-1]
-				queue = queue[:len(queue)-1]
-				comp.Points = append(comp.Points, p)
-				comp.Area++
-				comp.Box = comp.Box.Union(geom.Rect{X0: p.X, Y0: p.Y, X1: p.X, Y1: p.Y})
-				for dy := -1; dy <= 1; dy++ {
-					for dx := -1; dx <= 1; dx++ {
-						if dx == 0 && dy == 0 {
-							continue
-						}
-						nx, ny := p.X+dx, p.Y+dy
-						if nx < 0 || ny < 0 || nx >= b.W || ny >= b.H {
-							continue
-						}
-						nidx := ny*b.W + nx
-						if b.Pix[nidx] && labels[nidx] < 0 {
-							labels[nidx] = id
-							queue = append(queue, geom.Pt{X: nx, Y: ny})
+		row := b.Row(y)
+		for wi, w := range row {
+			for w != 0 {
+				x := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				idx := y*b.W + x
+				if labels[idx] >= 0 {
+					continue
+				}
+				id := int32(len(comps))
+				labels[idx] = id
+				queue = queue[:0]
+				queue = append(queue, geom.Pt{X: x, Y: y})
+				comp := Component{Box: geom.Rect{X0: x, Y0: y, X1: x, Y1: y}}
+				for len(queue) > 0 {
+					p := queue[len(queue)-1]
+					queue = queue[:len(queue)-1]
+					comp.Points = append(comp.Points, p)
+					comp.Area++
+					comp.Box = comp.Box.Union(geom.Rect{X0: p.X, Y0: p.Y, X1: p.X, Y1: p.Y})
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 {
+								continue
+							}
+							nx, ny := p.X+dx, p.Y+dy
+							if !b.At(nx, ny) {
+								continue
+							}
+							nidx := ny*b.W + nx
+							if labels[nidx] < 0 {
+								labels[nidx] = id
+								queue = append(queue, geom.Pt{X: nx, Y: ny})
+							}
 						}
 					}
 				}
-			}
-			if comp.Area >= minArea {
-				comps = append(comps, comp)
+				if comp.Area >= minArea {
+					comps = append(comps, comp)
+				}
 			}
 		}
 	}
@@ -87,11 +97,8 @@ func RowProfile(b *Binary) []int {
 	prof := make([]int, b.H)
 	for y := 0; y < b.H; y++ {
 		n := 0
-		row := b.Pix[y*b.W : (y+1)*b.W]
-		for _, v := range row {
-			if v {
-				n++
-			}
+		for _, w := range b.Row(y) {
+			n += bits.OnesCount64(w)
 		}
 		prof[y] = n
 	}
@@ -102,10 +109,11 @@ func RowProfile(b *Binary) []int {
 func ColProfile(b *Binary) []int {
 	prof := make([]int, b.W)
 	for y := 0; y < b.H; y++ {
-		row := b.Pix[y*b.W : (y+1)*b.W]
-		for x, v := range row {
-			if v {
-				prof[x]++
+		for wi, w := range b.Row(y) {
+			base := wi << 6
+			for w != 0 {
+				prof[base+bits.TrailingZeros64(w)]++
+				w &= w - 1
 			}
 		}
 	}
@@ -117,18 +125,14 @@ func ColProfile(b *Binary) []int {
 func HRuns(b *Binary, minLen int) []geom.HSeg {
 	var runs []geom.HSeg
 	for y := 0; y < b.H; y++ {
-		row := b.Pix[y*b.W : (y+1)*b.W]
-		start := -1
-		for x := 0; x <= b.W; x++ {
-			set := x < b.W && row[x]
-			if set && start < 0 {
-				start = x
-			} else if !set && start >= 0 {
-				if x-start >= minLen {
-					runs = append(runs, geom.HSeg{Y: y, X0: start, X1: x - 1})
-				}
-				start = -1
+		row := b.Row(y)
+		x := nextSet(row, 0, b.W)
+		for x < b.W {
+			end := nextClear(row, x+1, b.W)
+			if end-x >= minLen {
+				runs = append(runs, geom.HSeg{Y: y, X0: x, X1: end - 1})
 			}
+			x = nextSet(row, end+1, b.W)
 		}
 	}
 	return runs
@@ -136,21 +140,49 @@ func HRuns(b *Binary, minLen int) []geom.HSeg {
 
 // VRuns returns every maximal vertical run of set pixels in b that is at
 // least minLen pixels long.
+//
+// Columns are processed 64 at a time: per word-column the run starts are
+// `row &^ prevRow` and the run ends `prevRow &^ row`, so a single pass down
+// the image tracks all 64 lanes in parallel.
 func VRuns(b *Binary, minLen int) []geom.VSeg {
 	var runs []geom.VSeg
-	for x := 0; x < b.W; x++ {
-		start := -1
-		for y := 0; y <= b.H; y++ {
-			set := y < b.H && b.Pix[y*b.W+x]
-			if set && start < 0 {
-				start = y
-			} else if !set && start >= 0 {
-				if y-start >= minLen {
-					runs = append(runs, geom.VSeg{X: x, Y0: start, Y1: y - 1})
+	var start [64]int32
+	for wi := 0; wi < b.Stride; wi++ {
+		blockBase := len(runs)
+		var prev uint64
+		for y := 0; y < b.H; y++ {
+			w := b.Words[y*b.Stride+wi]
+			starts := w &^ prev
+			for starts != 0 {
+				start[bits.TrailingZeros64(starts)] = int32(y)
+				starts &= starts - 1
+			}
+			ends := prev &^ w
+			for ends != 0 {
+				l := bits.TrailingZeros64(ends)
+				ends &= ends - 1
+				if y-int(start[l]) >= minLen {
+					runs = append(runs, geom.VSeg{X: wi<<6 + l, Y0: int(start[l]), Y1: y - 1})
 				}
-				start = -1
+			}
+			prev = w
+		}
+		for prev != 0 {
+			l := bits.TrailingZeros64(prev)
+			prev &= prev - 1
+			if b.H-int(start[l]) >= minLen {
+				runs = append(runs, geom.VSeg{X: wi<<6 + l, Y0: int(start[l]), Y1: b.H - 1})
 			}
 		}
+		// Lanes finished in arbitrary order within the block; restore the
+		// column-major (x, then y) ordering of the per-pixel reference.
+		block := runs[blockBase:]
+		sort.Slice(block, func(i, j int) bool {
+			if block[i].X != block[j].X {
+				return block[i].X < block[j].X
+			}
+			return block[i].Y0 < block[j].Y0
+		})
 	}
 	return runs
 }

@@ -8,11 +8,13 @@
 package imgproc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"image"
 	"image/color"
 	"image/png"
 	"io"
+	"math/bits"
 
 	"tdmagic/internal/geom"
 )
@@ -123,15 +125,24 @@ func DecodePNG(r io.Reader) (*Gray, error) {
 	return FromImage(img), nil
 }
 
-// Binary is a dense 1-bit image. Set pixels (true) carry ink.
+// Binary is a dense 1-bit image, bit-packed into 64-pixel words. Set pixels
+// (true, bit 1) carry ink.
+//
+// Rows are stored row-major with a per-row word stride: pixel (x, y) lives
+// in bit x%64 of Words[y*Stride + x/64]. The padding bits of each row (bit
+// positions >= W in the last word) are kept zero by every operation — the
+// word kernels (Count, Or, profiles, morphology) rely on that invariant, so
+// code writing Words directly must preserve it (Set does).
 type Binary struct {
-	W, H int
-	Pix  []bool // row-major, len = W*H
+	W, H   int
+	Stride int      // words per row, (W+63)/64
+	Words  []uint64 // packed rows, len = H*Stride
 }
 
 // NewBinary returns an all-clear Binary of the given size.
 func NewBinary(w, h int) *Binary {
-	return &Binary{W: w, H: h, Pix: make([]bool, w*h)}
+	stride := (w + 63) / 64
+	return &Binary{W: w, H: h, Stride: stride, Words: make([]uint64, h*stride)}
 }
 
 // At returns the pixel at (x, y); out-of-bounds reads return false.
@@ -139,7 +150,7 @@ func (b *Binary) At(x, y int) bool {
 	if x < 0 || y < 0 || x >= b.W || y >= b.H {
 		return false
 	}
-	return b.Pix[y*b.W+x]
+	return b.Words[y*b.Stride+x>>6]>>(uint(x)&63)&1 != 0
 }
 
 // Set writes the pixel at (x, y); out-of-bounds writes are ignored.
@@ -147,7 +158,11 @@ func (b *Binary) Set(x, y int, v bool) {
 	if x < 0 || y < 0 || x >= b.W || y >= b.H {
 		return
 	}
-	b.Pix[y*b.W+x] = v
+	if v {
+		b.Words[y*b.Stride+x>>6] |= 1 << (uint(x) & 63)
+	} else {
+		b.Words[y*b.Stride+x>>6] &^= 1 << (uint(x) & 63)
+	}
 }
 
 // Bounds returns the image rectangle in geom coordinates.
@@ -155,18 +170,43 @@ func (b *Binary) Bounds() geom.Rect { return geom.Rect{X0: 0, Y0: 0, X1: b.W - 1
 
 // Clone returns a deep copy of b.
 func (b *Binary) Clone() *Binary {
-	c := &Binary{W: b.W, H: b.H, Pix: make([]bool, len(b.Pix))}
-	copy(c.Pix, b.Pix)
+	c := &Binary{W: b.W, H: b.H, Stride: b.Stride, Words: make([]uint64, len(b.Words))}
+	copy(c.Words, b.Words)
 	return c
+}
+
+// Fill sets every pixel of b to v.
+func (b *Binary) Fill(v bool) {
+	if !v {
+		for i := range b.Words {
+			b.Words[i] = 0
+		}
+		return
+	}
+	for i := range b.Words {
+		b.Words[i] = ^uint64(0)
+	}
+	b.maskPadding()
+}
+
+// maskPadding zeroes the padding bits of every row, restoring the packing
+// invariant after whole-word writes.
+func (b *Binary) maskPadding() {
+	tail := uint(b.W) & 63
+	if tail == 0 || b.Stride == 0 {
+		return
+	}
+	mask := uint64(1)<<tail - 1
+	for y := 0; y < b.H; y++ {
+		b.Words[y*b.Stride+b.Stride-1] &= mask
+	}
 }
 
 // Count returns the number of set pixels.
 func (b *Binary) Count() int {
 	n := 0
-	for _, v := range b.Pix {
-		if v {
-			n++
-		}
+	for _, w := range b.Words {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -178,10 +218,23 @@ func (b *Binary) Crop(r geom.Rect) *Binary {
 		return NewBinary(0, 0)
 	}
 	out := NewBinary(r.W(), r.H())
+	off := uint(r.X0) & 63
+	w0 := r.X0 >> 6
 	for y := 0; y < out.H; y++ {
-		src := (r.Y0+y)*b.W + r.X0
-		copy(out.Pix[y*out.W:(y+1)*out.W], b.Pix[src:src+out.W])
+		src := b.Words[(r.Y0+y)*b.Stride : (r.Y0+y+1)*b.Stride]
+		dst := out.Words[y*out.Stride : (y+1)*out.Stride]
+		for j := range dst {
+			var w uint64
+			if w0+j < len(src) {
+				w = src[w0+j] >> off
+			}
+			if off != 0 && w0+j+1 < len(src) {
+				w |= src[w0+j+1] << (64 - off)
+			}
+			dst[j] = w
+		}
 	}
+	out.maskPadding()
 	return out
 }
 
@@ -190,10 +243,8 @@ func (b *Binary) Or(o *Binary) {
 	if b.W != o.W || b.H != o.H {
 		panic("imgproc: Or on mismatched sizes")
 	}
-	for i, v := range o.Pix {
-		if v {
-			b.Pix[i] = true
-		}
+	for i, w := range o.Words {
+		b.Words[i] |= w
 	}
 }
 
@@ -202,20 +253,31 @@ func (b *Binary) AndNot(o *Binary) {
 	if b.W != o.W || b.H != o.H {
 		panic("imgproc: AndNot on mismatched sizes")
 	}
-	for i, v := range o.Pix {
-		if v {
-			b.Pix[i] = false
-		}
+	for i, w := range o.Words {
+		b.Words[i] &^= w
 	}
 }
 
 // ClearRect clears every pixel inside r.
 func (b *Binary) ClearRect(r geom.Rect) {
 	r = r.Clip(b.Bounds())
+	if r.Empty() {
+		return
+	}
+	w0, w1 := r.X0>>6, r.X1>>6
+	m0 := ^uint64(0) << (uint(r.X0) & 63)    // bits >= X0 within word w0
+	m1 := ^uint64(0) >> (63 - uint(r.X1)&63) // bits <= X1 within word w1
 	for y := r.Y0; y <= r.Y1; y++ {
-		for x := r.X0; x <= r.X1; x++ {
-			b.Pix[y*b.W+x] = false
+		row := b.Words[y*b.Stride : (y+1)*b.Stride]
+		if w0 == w1 {
+			row[w0] &^= m0 & m1
+			continue
 		}
+		row[w0] &^= m0
+		for j := w0 + 1; j < w1; j++ {
+			row[j] = 0
+		}
+		row[w1] &^= m1
 	}
 }
 
@@ -223,21 +285,65 @@ func (b *Binary) ClearRect(r geom.Rect) {
 // pixels white (255).
 func (b *Binary) ToGray() *Gray {
 	g := NewGray(b.W, b.H)
-	for i, v := range b.Pix {
-		if v {
-			g.Pix[i] = 0
+	for y := 0; y < b.H; y++ {
+		row := b.Words[y*b.Stride : (y+1)*b.Stride]
+		out := g.Pix[y*g.W : (y+1)*g.W]
+		for wi, w := range row {
+			for w != 0 {
+				out[wi<<6+bits.TrailingZeros64(w)] = 0
+				w &= w - 1
+			}
 		}
 	}
 	return g
 }
 
 // Threshold converts g to an inverse binary image: a pixel is set when its
-// gray value is strictly below thr (i.e. the pixel carries ink).
+// gray value is strictly below thr (i.e. the pixel carries ink). The packed
+// words are written directly, one 64-pixel word at a time.
 func Threshold(g *Gray, thr uint8) *Binary {
 	b := NewBinary(g.W, g.H)
-	for i, v := range g.Pix {
-		if v < thr {
-			b.Pix[i] = true
+	const (
+		ones uint64 = 0x0101010101010101
+		hi   uint64 = 0x8080808080808080
+		// mm gathers the per-byte MSBs of a masked word into bits 56..63:
+		// every product term 2^(8i+7) · 2^(49-7j) lands on a distinct bit
+		// position mod 64, so the multiply is carry-free and exact.
+		mm uint64 = 0x0002040810204081
+	)
+	t7 := uint64(thr&0x7f) * ones
+	msbSet := thr >= 128
+	t32 := uint32(thr)
+	for y := 0; y < g.H; y++ {
+		src := g.Pix[y*g.W : (y+1)*g.W]
+		row := b.Words[y*b.Stride : (y+1)*b.Stride]
+		x, wi := 0, 0
+		for ; x+64 <= len(src); x, wi = x+64, wi+1 {
+			var w uint64
+			for k := 0; k < 64; k += 8 {
+				// SWAR compare of 8 pixels at once: (v|0x80)-t7 has its
+				// byte MSB clear exactly when (v&0x7f) < (thr&0x7f), and
+				// the v MSBs resolve the 128 boundary.
+				x8 := binary.LittleEndian.Uint64(src[x+k:])
+				loLT := ^((x8 | hi) - t7) & hi
+				var lt uint64
+				if msbSet {
+					lt = (^x8 & hi) | (loLT & x8)
+				} else {
+					lt = loLT & ^x8
+				}
+				w |= (lt * mm) >> 56 << uint(k)
+			}
+			row[wi] = w
+		}
+		if x < len(src) {
+			// Ragged tail: branchless per-pixel pack,
+			// (v - thr) >> 31 is 1 exactly when v < thr.
+			var w uint64
+			for i, v := range src[x:] {
+				w |= uint64((uint32(v)-t32)>>31) << uint(i)
+			}
+			row[wi] = w
 		}
 	}
 	return b

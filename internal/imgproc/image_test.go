@@ -205,8 +205,8 @@ func TestBinaryToGrayRoundtrip(t *testing.T) {
 		t.Error("ToGray wrong")
 	}
 	b2 := Threshold(g, 128)
-	for i := range b.Pix {
-		if b.Pix[i] != b2.Pix[i] {
+	for i := range b.Words {
+		if b.Words[i] != b2.Words[i] {
 			t.Fatal("Binary->Gray->Binary roundtrip mismatch")
 		}
 	}
@@ -262,9 +262,7 @@ func TestComponentsDiagonalConnectivity(t *testing.T) {
 
 func TestComponentsLargeBlobNoStackOverflow(t *testing.T) {
 	b := NewBinary(300, 300)
-	for i := range b.Pix {
-		b.Pix[i] = true
-	}
+	b.Fill(true)
 	comps := Components(b, 1)
 	if len(comps) != 1 || comps[0].Area != 300*300 {
 		t.Error("full-image component wrong")
@@ -339,10 +337,12 @@ func TestComponentsAreaProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		b := NewBinary(30, 30)
 		s := seed
-		for i := range b.Pix {
-			s = s*6364136223846793005 + 1442695040888963407
-			if (s>>33)%3 == 0 {
-				b.Pix[i] = true
+		for y := 0; y < b.H; y++ {
+			for x := 0; x < b.W; x++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				if (s>>33)%3 == 0 {
+					b.Set(x, y, true)
+				}
 			}
 		}
 		total := 0
@@ -361,10 +361,12 @@ func TestProfileSumProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		b := NewBinary(17, 23)
 		s := seed
-		for i := range b.Pix {
-			s = s*2862933555777941757 + 3037000493
-			if (s>>40)&1 == 1 {
-				b.Pix[i] = true
+		for y := 0; y < b.H; y++ {
+			for x := 0; x < b.W; x++ {
+				s = s*2862933555777941757 + 3037000493
+				if (s>>40)&1 == 1 {
+					b.Set(x, y, true)
+				}
 			}
 		}
 		sr, sc := 0, 0

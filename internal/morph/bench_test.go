@@ -1,0 +1,63 @@
+package morph
+
+import (
+	"testing"
+
+	"tdmagic/internal/imgproc"
+)
+
+// benchDiagram builds a deterministic 900×540 diagram-shaped image: solid
+// plateaus, dashed vertical event lines and dashed horizontal arrows — the
+// input shape VerticalContours/HorizontalContours see in the LAD stage.
+func benchDiagram() *imgproc.Binary {
+	b := imgproc.NewBinary(900, 540)
+	for y := 30; y < b.H; y += 60 {
+		for x := 20; x < b.W-20; x++ {
+			b.Set(x, y, true)
+		}
+	}
+	for x := 100; x < b.W; x += 120 {
+		for y := 0; y < b.H; y++ {
+			if y%8 < 4 {
+				b.Set(x, y, true)
+			}
+		}
+	}
+	for x := 140; x < 700; x++ {
+		if x%9 < 5 {
+			b.Set(x, 200, true)
+		}
+	}
+	return b
+}
+
+// BenchmarkMorphContours measures the LAD morphology hot path: close/open
+// with vertical and horizontal line elements plus component collection, at
+// the default contour parameters.
+func BenchmarkMorphContours(b *testing.B) {
+	img := benchDiagram()
+	b.Run("Vertical", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = VerticalContours(img, 9, 30, 10)
+		}
+	})
+	b.Run("Horizontal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = HorizontalContours(img, 9, 25, 10)
+		}
+	})
+	b.Run("ErodeRect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Erode(img, Rect(5, 5))
+		}
+	})
+	b.Run("DilateRect", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = Dilate(img, Rect(5, 5))
+		}
+	})
+}

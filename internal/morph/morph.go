@@ -9,6 +9,11 @@
 // the surviving vertical contours. In morphology terms that is a closing with
 // a vertical line element followed by an opening with a (longer) vertical
 // line element; this package provides those building blocks.
+//
+// All kernels run word-parallel on the bit-packed imgproc.Binary: a line
+// erosion/dilation of length n is a logarithmic sequence of shifted word
+// ANDs/ORs (the window smear doubles its coverage each pass), so the cost is
+// O(W·H/64 · log n) word operations instead of O(W·H) per-pixel probes.
 package morph
 
 import (
@@ -64,127 +69,160 @@ func Close(b *imgproc.Binary, se SE) *imgproc.Binary {
 	return Erode(Dilate(b, se), se)
 }
 
-func dilateH(b *imgproc.Binary, n int) *imgproc.Binary {
+// shiftColsLeftInto writes src shifted k columns to the left into dst:
+// dst(x, y) = src(x+k, y). Pixels pulled from beyond the right border are
+// clear. dst and src must have identical geometry and must not alias.
+func shiftColsLeftInto(dst, src *imgproc.Binary, k int) {
+	ws, bs := k>>6, uint(k)&63
+	stride := src.Stride
+	for y := 0; y < src.H; y++ {
+		srow := src.Words[y*stride : (y+1)*stride]
+		drow := dst.Words[y*stride : (y+1)*stride]
+		for j := range drow {
+			var w uint64
+			if j+ws < stride {
+				w = srow[j+ws] >> bs
+			}
+			if bs != 0 && j+ws+1 < stride {
+				w |= srow[j+ws+1] << (64 - bs)
+			}
+			drow[j] = w
+		}
+	}
+	// Source padding bits are zero, so the invariant is preserved.
+}
+
+// shiftColsRightInto writes src shifted k columns to the right into dst:
+// dst(x, y) = src(x-k, y); pixels pulled from beyond the left border are
+// clear. Ink shifted past the right border is masked off.
+func shiftColsRightInto(dst, src *imgproc.Binary, k int) {
+	ws, bs := k>>6, uint(k)&63
+	stride := src.Stride
+	for y := 0; y < src.H; y++ {
+		srow := src.Words[y*stride : (y+1)*stride]
+		drow := dst.Words[y*stride : (y+1)*stride]
+		for j := stride - 1; j >= 0; j-- {
+			var w uint64
+			if j-ws >= 0 {
+				w = srow[j-ws] << bs
+			}
+			if bs != 0 && j-ws-1 >= 0 {
+				w |= srow[j-ws-1] >> (64 - bs)
+			}
+			drow[j] = w
+		}
+	}
+	if tail := uint(src.W) & 63; tail != 0 {
+		mask := uint64(1)<<tail - 1
+		for y := 0; y < src.H; y++ {
+			dst.Words[y*stride+stride-1] &= mask
+		}
+	}
+}
+
+// shiftRowsUpInto writes src shifted k rows up into dst:
+// dst(x, y) = src(x, y+k); rows pulled from below the image are clear.
+func shiftRowsUpInto(dst, src *imgproc.Binary, k int) {
+	stride := src.Stride
+	n := (src.H - k) * stride
+	if n < 0 {
+		n = 0
+	}
+	copy(dst.Words[:n], src.Words[k*stride:])
+	for i := n; i < len(dst.Words); i++ {
+		dst.Words[i] = 0
+	}
+}
+
+// shiftRowsDownInto writes src shifted k rows down into dst:
+// dst(x, y) = src(x, y-k); rows pulled from above the image are clear.
+func shiftRowsDownInto(dst, src *imgproc.Binary, k int) {
+	stride := src.Stride
+	n := (src.H - k) * stride
+	if n < 0 {
+		n = 0
+	}
+	copy(dst.Words[len(dst.Words)-n:], src.Words[:n])
+	for i := 0; i < len(dst.Words)-n; i++ {
+		dst.Words[i] = 0
+	}
+}
+
+// smear returns the directed window reduction of b over m consecutive
+// pixels including x itself: for fwd smears the window is [x, x+m-1] (bits
+// pulled in by shiftColsLeftInto / shiftRowsUpInto), for backward smears it
+// is [x-m+1, x] (shiftColsRightInto / shiftRowsDownInto). The reduction is
+// OR for dilation (and=false) and AND for erosion (and=true). Coverage
+// doubles each pass, so m-wide windows cost ceil(log2 m) shifted word
+// combines. Pixels pulled from beyond the border are clear — for OR they
+// contribute nothing (the reference dilation ignores clipped pixels), for
+// AND they force a miss (the reference erosion treats clipped pixels as
+// clear), so both border semantics fall out of the zero fill.
+func smear(b *imgproc.Binary, m int, and bool, shift func(dst, src *imgproc.Binary, k int)) *imgproc.Binary {
+	res := b.Clone()
+	if m <= 1 {
+		return res
+	}
+	tmp := imgproc.NewBinary(b.W, b.H)
+	for cov := 1; cov < m; {
+		step := cov
+		if cov+step > m {
+			step = m - cov
+		}
+		shift(tmp, res, step)
+		if and {
+			for i, w := range tmp.Words {
+				res.Words[i] &= w
+			}
+		} else {
+			for i, w := range tmp.Words {
+				res.Words[i] |= w
+			}
+		}
+		cov += step
+	}
+	return res
+}
+
+// lineOp applies a 1D window reduction with the centred element of length n:
+// the window [x-left, x+right] splits into a backward smear over
+// [x-left, x] and a forward smear over [x, x+right]; their union is the
+// window, so combining them (OR or AND — both windows contain x) yields the
+// exact per-pixel reference result, border clipping included.
+func lineOp(b *imgproc.Binary, n int, and bool, fwd, back func(dst, src *imgproc.Binary, k int)) *imgproc.Binary {
 	if n <= 1 {
 		return b.Clone()
 	}
 	left := (n - 1) / 2
 	right := n - 1 - left
-	out := imgproc.NewBinary(b.W, b.H)
-	for y := 0; y < b.H; y++ {
-		row := b.Pix[y*b.W : (y+1)*b.W]
-		orow := out.Pix[y*b.W : (y+1)*b.W]
-		// Sliding window count of set pixels in [x-left, x+right].
-		cnt := 0
-		for x := 0; x < right && x < b.W; x++ {
-			if row[x] {
-				cnt++
-			}
+	res := smear(b, left+1, and, back)
+	other := smear(b, right+1, and, fwd)
+	if and {
+		for i, w := range other.Words {
+			res.Words[i] &= w
 		}
-		for x := 0; x < b.W; x++ {
-			if x+right < b.W && row[x+right] {
-				cnt++
-			}
-			if x-left-1 >= 0 && row[x-left-1] {
-				cnt--
-			}
-			if cnt > 0 {
-				orow[x] = true
-			}
+	} else {
+		for i, w := range other.Words {
+			res.Words[i] |= w
 		}
 	}
-	return out
+	return res
+}
+
+func dilateH(b *imgproc.Binary, n int) *imgproc.Binary {
+	return lineOp(b, n, false, shiftColsLeftInto, shiftColsRightInto)
 }
 
 func dilateV(b *imgproc.Binary, n int) *imgproc.Binary {
-	if n <= 1 {
-		return b.Clone()
-	}
-	up := (n - 1) / 2
-	down := n - 1 - up
-	out := imgproc.NewBinary(b.W, b.H)
-	for x := 0; x < b.W; x++ {
-		cnt := 0
-		for y := 0; y < down && y < b.H; y++ {
-			if b.Pix[y*b.W+x] {
-				cnt++
-			}
-		}
-		for y := 0; y < b.H; y++ {
-			if y+down < b.H && b.Pix[(y+down)*b.W+x] {
-				cnt++
-			}
-			if y-up-1 >= 0 && b.Pix[(y-up-1)*b.W+x] {
-				cnt--
-			}
-			if cnt > 0 {
-				out.Pix[y*b.W+x] = true
-			}
-		}
-	}
-	return out
+	return lineOp(b, n, false, shiftRowsUpInto, shiftRowsDownInto)
 }
 
 func erodeH(b *imgproc.Binary, n int) *imgproc.Binary {
-	if n <= 1 {
-		return b.Clone()
-	}
-	left := (n - 1) / 2
-	right := n - 1 - left
-	out := imgproc.NewBinary(b.W, b.H)
-	for y := 0; y < b.H; y++ {
-		row := b.Pix[y*b.W : (y+1)*b.W]
-		orow := out.Pix[y*b.W : (y+1)*b.W]
-		cnt := 0 // count of set pixels in window; need full n for erosion
-		for x := 0; x < right && x < b.W; x++ {
-			if row[x] {
-				cnt++
-			}
-		}
-		for x := 0; x < b.W; x++ {
-			if x+right < b.W && row[x+right] {
-				cnt++
-			}
-			if x-left-1 >= 0 && row[x-left-1] {
-				cnt--
-			}
-			// Window may be clipped at the border; clipped pixels count as
-			// clear, so a full-count match is impossible there.
-			if cnt == n {
-				orow[x] = true
-			}
-		}
-	}
-	return out
+	return lineOp(b, n, true, shiftColsLeftInto, shiftColsRightInto)
 }
 
 func erodeV(b *imgproc.Binary, n int) *imgproc.Binary {
-	if n <= 1 {
-		return b.Clone()
-	}
-	up := (n - 1) / 2
-	down := n - 1 - up
-	out := imgproc.NewBinary(b.W, b.H)
-	for x := 0; x < b.W; x++ {
-		cnt := 0
-		for y := 0; y < down && y < b.H; y++ {
-			if b.Pix[y*b.W+x] {
-				cnt++
-			}
-		}
-		for y := 0; y < b.H; y++ {
-			if y+down < b.H && b.Pix[(y+down)*b.W+x] {
-				cnt++
-			}
-			if y-up-1 >= 0 && b.Pix[(y-up-1)*b.W+x] {
-				cnt--
-			}
-			if cnt == n {
-				out.Pix[y*b.W+x] = true
-			}
-		}
-	}
-	return out
+	return lineOp(b, n, true, shiftRowsUpInto, shiftRowsDownInto)
 }
 
 // VerticalContours extracts vertical structures from b: it first closes with

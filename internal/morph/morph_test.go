@@ -28,12 +28,22 @@ func binEqual(a, b *imgproc.Binary) bool {
 	if a.W != b.W || a.H != b.H {
 		return false
 	}
-	for i := range a.Pix {
-		if a.Pix[i] != b.Pix[i] {
+	for i := range a.Words {
+		if a.Words[i] != b.Words[i] {
 			return false
 		}
 	}
 	return true
+}
+
+// fillRand sets each pixel with probability 1/denom, reading the rng in
+// row-major pixel order.
+func fillRand(b *imgproc.Binary, rng *rand.Rand, denom int) {
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			b.Set(x, y, rng.Intn(denom) == 0)
+		}
+	}
 }
 
 func TestStructuringElements(t *testing.T) {
@@ -89,9 +99,7 @@ func TestErodeInverseOfDilateOnBlock(t *testing.T) {
 func TestErodeBorderClipping(t *testing.T) {
 	// A full image eroded by a 3x3 element loses its 1-pixel border.
 	b := imgproc.NewBinary(5, 5)
-	for i := range b.Pix {
-		b.Pix[i] = true
-	}
+	b.Fill(true)
 	e := Erode(b, Rect(3, 3))
 	if e.Count() != 9 {
 		t.Errorf("full 5x5 eroded by 3x3 = %d pixels, want 9", e.Count())
@@ -141,9 +149,7 @@ func TestCloseBridgesGaps(t *testing.T) {
 func TestIdentityElement(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	b := imgproc.NewBinary(16, 16)
-	for i := range b.Pix {
-		b.Pix[i] = rng.Intn(2) == 0
-	}
+	fillRand(b, rng, 2)
 	if !binEqual(Dilate(b, SE{1, 1}), b) || !binEqual(Erode(b, SE{1, 1}), b) {
 		t.Error("1x1 element should be identity")
 	}
@@ -155,17 +161,15 @@ func TestDilateErodeDuality(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 10; trial++ {
 		b := imgproc.NewBinary(24, 24)
-		for i := range b.Pix {
-			b.Pix[i] = rng.Intn(3) == 0
-		}
+		fillRand(b, rng, 3)
 		se := SE{W: 1 + rng.Intn(3), H: 1 + rng.Intn(3)}
 		d := Dilate(b, se)
 		e := Erode(b, se)
-		for i := range b.Pix {
-			if e.Pix[i] && !b.Pix[i] {
+		for i := range b.Words {
+			if e.Words[i]&^b.Words[i] != 0 {
 				t.Fatal("erosion grew the image")
 			}
-			if b.Pix[i] && !d.Pix[i] {
+			if b.Words[i]&^d.Words[i] != 0 {
 				t.Fatal("dilation shrank the image")
 			}
 		}
@@ -176,9 +180,7 @@ func TestOpenCloseIdempotent(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 5; trial++ {
 		b := imgproc.NewBinary(20, 20)
-		for i := range b.Pix {
-			b.Pix[i] = rng.Intn(3) == 0
-		}
+		fillRand(b, rng, 3)
 		se := Rect(1+rng.Intn(2)*2, 1+rng.Intn(2)*2) // odd sizes
 		o1 := Open(b, se)
 		o2 := Open(o1, se)

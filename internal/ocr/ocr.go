@@ -94,10 +94,8 @@ func inkBox(bw *imgproc.Binary, r geom.Rect) geom.Rect {
 	r = r.Clip(bw.Bounds())
 	out := geom.Rect{X0: r.X1 + 1, Y0: r.Y1 + 1, X1: r.X0 - 1, Y1: r.Y0 - 1}
 	for y := r.Y0; y <= r.Y1; y++ {
-		for x := r.X0; x <= r.X1; x++ {
-			if bw.At(x, y) {
-				out = out.Union(geom.Rect{X0: x, Y0: y, X1: x, Y1: y})
-			}
+		if first, last, ok := bw.RowSpan(y, r.X0, r.X1); ok {
+			out = out.Union(geom.Rect{X0: first, Y0: y, X1: last, Y1: y})
 		}
 	}
 	return out
@@ -124,20 +122,12 @@ func sampleGridInto(g []float64, bw *imgproc.Binary, box geom.Rect) []float64 {
 			if y1 < y0 {
 				y1 = y0
 			}
-			n, tot := 0, 0
-			for y := y0; y <= y1; y++ {
-				for x := x0; x <= x1; x++ {
-					tot++
-					if bw.At(x, y) {
-						n++
-					}
-				}
-			}
-			cell := 0.0
-			if tot > 0 {
-				cell = float64(n) / float64(tot)
-			}
-			g[gy*gridW+gx] = cell
+			// tot is the unclipped cell area: out-of-image pixels count
+			// toward the denominator but never hold ink, exactly like the
+			// per-pixel probe whose At() is false out of bounds.
+			n := bw.CountRect(geom.Rect{X0: x0, Y0: y0, X1: x1, Y1: y1})
+			tot := (x1 - x0 + 1) * (y1 - y0 + 1)
+			g[gy*gridW+gx] = float64(n) / float64(tot)
 		}
 	}
 	return g
@@ -151,14 +141,18 @@ func segmentBoxes(bw *imgproc.Binary, box geom.Rect) []geom.Rect {
 	if box.Empty() {
 		return nil
 	}
+	// OR every row of the box word-wise, then read the column occupancy out
+	// of the accumulated words.
+	acc := make([]uint64, bw.Stride)
+	for y := box.Y0; y <= box.Y1; y++ {
+		row := bw.Row(y)
+		for j := range acc {
+			acc[j] |= row[j]
+		}
+	}
 	colInk := make([]bool, box.W())
 	for x := box.X0; x <= box.X1; x++ {
-		for y := box.Y0; y <= box.Y1; y++ {
-			if bw.At(x, y) {
-				colInk[x-box.X0] = true
-				break
-			}
-		}
+		colInk[x-box.X0] = acc[x>>6]>>(uint(x)&63)&1 != 0
 	}
 	var boxes []geom.Rect
 	start := -1
@@ -298,12 +292,22 @@ func (m *Model) RecognizeLine(bw *imgproc.Binary, box geom.Rect) (string, float6
 // markup's character count the observed grids are merged into the
 // corresponding templates (the same alignment trick CTC-style recognisers
 // exploit, applicable here because the typesetting is known).
-func (m *Model) Train(samples []*dataset.Sample) int {
+//
+// bws optionally carries the samples' pre-binarised images (parallel to
+// samples), sharing one Otsu pass with the other training stages; nil
+// binarises internally.
+func (m *Model) Train(samples []*dataset.Sample, bws []*imgproc.Binary) int {
 	aligned := 0
 	grid := m.getGrid()
 	defer m.putGrid(grid)
-	for _, s := range samples {
-		bw := imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))
+	for si, s := range samples {
+		bw := (*imgproc.Binary)(nil)
+		if bws != nil {
+			bw = bws[si]
+		}
+		if bw == nil {
+			bw = imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))
+		}
 		for _, tb := range s.Texts {
 			chars := plainChars(tb.Text)
 			boxes := segmentBoxes(bw, tb.Box)
@@ -374,17 +378,8 @@ func DetectRegions(bw *imgproc.Binary, lines *lad.Result, cfg DetectConfig) []ge
 	}
 	for _, h := range lines.H {
 		for x := h.Seg.X0; x <= h.Seg.X1; x++ {
-			neighbours := 0
-			for dx := -3; dx <= 3; dx++ {
-				for dy := 2; dy <= 6; dy++ {
-					if bw.At(x+dx, h.Seg.Y-dy) {
-						neighbours++
-					}
-					if bw.At(x+dx, h.Seg.Y+dy) {
-						neighbours++
-					}
-				}
-			}
+			neighbours := bw.CountRect(geom.Rect{X0: x - 3, Y0: h.Seg.Y - 6, X1: x + 3, Y1: h.Seg.Y - 2}) +
+				bw.CountRect(geom.Rect{X0: x - 3, Y0: h.Seg.Y + 2, X1: x + 3, Y1: h.Seg.Y + 6})
 			if neighbours <= 1 {
 				work.ClearRect(geom.Rect{X0: x, Y0: h.Seg.Y - 2, X1: x, Y1: h.Seg.Y + 2})
 			}

@@ -74,7 +74,7 @@ func TestTrainImprovesAlignment(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := NewFontModel()
-	aligned := m.Train(samples)
+	aligned := m.Train(samples, nil)
 	if aligned == 0 {
 		t.Error("no text boxes aligned during training")
 	}
@@ -122,7 +122,7 @@ func TestReadAllEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := NewFontModel()
-	m.Train(train)
+	m.Train(train, nil)
 	total, correct := 0, 0
 	for _, s := range val {
 		bw := imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))

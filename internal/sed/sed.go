@@ -115,13 +115,10 @@ func cleanup(bw *imgproc.Binary, lines *lad.Result, cfg Config) *imgproc.Binary 
 		}
 		for y := v.Seg.Y0; y <= v.Seg.Y1; y++ {
 			alone := true
-		scan:
 			for dy := -1; dy <= 1; dy++ {
-				for dx := 3; dx <= 8; dx++ {
-					if bw.At(v.Seg.X-dx, y+dy) || bw.At(v.Seg.X+dx, y+dy) {
-						alone = false
-						break scan
-					}
+				if bw.RowAny(y+dy, v.Seg.X-8, v.Seg.X-3) || bw.RowAny(y+dy, v.Seg.X+3, v.Seg.X+8) {
+					alone = false
+					break
 				}
 			}
 			if alone {
@@ -133,18 +130,27 @@ func cleanup(bw *imgproc.Binary, lines *lad.Result, cfg Config) *imgproc.Binary 
 		if !lad.Dashed(v.Density) {
 			continue
 		}
-		for y := v.Seg.Y0; y <= v.Seg.Y1; y++ {
-			hits, total := 0, 0
-			for yy := y - win; yy <= y+win; yy++ {
-				if yy < v.Seg.Y0 || yy > v.Seg.Y1 {
-					continue
-				}
-				total++
-				if bw.At(v.Seg.X, yy) || bw.At(v.Seg.X-1, yy) || bw.At(v.Seg.X+1, yy) {
-					hits++
-				}
+		// Probe each row's 3-column band once, then answer every sliding
+		// window from the prefix sum.
+		y0, y1 := v.Seg.Y0, v.Seg.Y1
+		pre := make([]int, y1-y0+2)
+		for i, yy := 0, y0; yy <= y1; i, yy = i+1, yy+1 {
+			hit := 0
+			if bw.RowAny(yy, v.Seg.X-1, v.Seg.X+1) {
+				hit = 1
 			}
-			if total > 0 && float64(hits)/float64(total) < localSolid {
+			pre[i+1] = pre[i] + hit
+		}
+		for y := y0; y <= y1; y++ {
+			lo, hi := y-win, y+win
+			if lo < y0 {
+				lo = y0
+			}
+			if hi > y1 {
+				hi = y1
+			}
+			hits := pre[hi-y0+1] - pre[lo-y0]
+			if float64(hits)/float64(hi-lo+1) < localSolid {
 				work.ClearRect(geom.Rect{X0: v.Seg.X - 2, Y0: y, X1: v.Seg.X + 2, Y1: y})
 			}
 		}
@@ -153,18 +159,36 @@ func cleanup(bw *imgproc.Binary, lines *lad.Result, cfg Config) *imgproc.Binary 
 		if !lad.Dashed(h.Density) {
 			continue
 		}
-		for x := h.Seg.X0; x <= h.Seg.X1; x++ {
-			hits, total := 0, 0
-			for xx := x - win; xx <= x+win; xx++ {
-				if xx < h.Seg.X0 || xx > h.Seg.X1 {
-					continue
-				}
-				total++
-				if bw.At(xx, h.Seg.Y) || bw.At(xx, h.Seg.Y-1) || bw.At(xx, h.Seg.Y+1) {
-					hits++
+		// OR the 3-row band word-wise once, then answer every sliding
+		// window from the prefix sum of the per-column occupancy.
+		acc := make([]uint64, bw.Stride)
+		for dy := -1; dy <= 1; dy++ {
+			if yy := h.Seg.Y + dy; yy >= 0 && yy < bw.H {
+				row := bw.Row(yy)
+				for j := range acc {
+					acc[j] |= row[j]
 				}
 			}
-			if total > 0 && float64(hits)/float64(total) < localSolid {
+		}
+		x0, x1 := h.Seg.X0, h.Seg.X1
+		pre := make([]int, x1-x0+2)
+		for i, xx := 0, x0; xx <= x1; i, xx = i+1, xx+1 {
+			hit := 0
+			if acc[xx>>6]>>(uint(xx)&63)&1 != 0 {
+				hit = 1
+			}
+			pre[i+1] = pre[i] + hit
+		}
+		for x := x0; x <= x1; x++ {
+			lo, hi := x-win, x+win
+			if lo < x0 {
+				lo = x0
+			}
+			if hi > x1 {
+				hi = x1
+			}
+			hits := pre[hi-x0+1] - pre[lo-x0]
+			if float64(hits)/float64(hi-lo+1) < localSolid {
 				work.ClearRect(geom.Rect{X0: x, Y0: h.Seg.Y - 2, X1: x, Y1: h.Seg.Y + 2})
 			}
 		}
@@ -300,10 +324,8 @@ func tightBox(bw *imgproc.Binary, box geom.Rect) geom.Rect {
 	box = box.Clip(bw.Bounds())
 	out := geom.Rect{X0: box.X1 + 1, Y0: box.Y1 + 1, X1: box.X0 - 1, Y1: box.Y0 - 1}
 	for y := box.Y0; y <= box.Y1; y++ {
-		for x := box.X0; x <= box.X1; x++ {
-			if bw.At(x, y) {
-				out = out.Union(geom.Rect{X0: x, Y0: y, X1: x, Y1: y})
-			}
+		if first, last, ok := bw.RowSpan(y, box.X0, box.X1); ok {
+			out = out.Union(geom.Rect{X0: first, Y0: y, X1: last, Y1: y})
 		}
 	}
 	if out.Empty() {
@@ -403,12 +425,9 @@ func inkCentroidY(bw *imgproc.Binary, r geom.Rect) float64 {
 	}
 	sum, n := 0, 0
 	for y := r.Y0; y <= r.Y1; y++ {
-		for x := r.X0; x <= r.X1; x++ {
-			if bw.Pix[y*bw.W+x] {
-				sum += y - r.Y0
-				n++
-			}
-		}
+		c := bw.RowCount(y, r.X0, r.X1)
+		sum += c * (y - r.Y0)
+		n += c
 	}
 	if n == 0 {
 		return 0.5
@@ -422,15 +441,7 @@ func inkFrac(bw *imgproc.Binary, r geom.Rect) float64 {
 	if r.Empty() {
 		return 0
 	}
-	n := 0
-	for y := r.Y0; y <= r.Y1; y++ {
-		for x := r.X0; x <= r.X1; x++ {
-			if bw.Pix[y*bw.W+x] {
-				n++
-			}
-		}
-	}
-	return float64(n) / float64(r.Area())
+	return float64(bw.CountRect(r)) / float64(r.Area())
 }
 
 // TrainConfig controls model training.
@@ -452,10 +463,15 @@ func DefaultTrainConfig() TrainConfig {
 
 // exampleSet extracts the training examples of one labelled picture:
 // binarise, detect lines, propose candidates, featurise. This per-sample
-// stage is independent across samples and runs on the worker pool.
-func exampleSet(s *dataset.Sample, cfg Config) []nn.Sample {
+// stage is independent across samples and runs on the worker pool. A
+// pre-binarised image may be supplied to avoid repeating the Otsu pass
+// (core.Train shares one binarisation between SED and OCR); bw == nil
+// computes it here.
+func exampleSet(s *dataset.Sample, bw *imgproc.Binary, cfg Config) []nn.Sample {
 	var out []nn.Sample
-	bw := imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))
+	if bw == nil {
+		bw = imgproc.Threshold(s.Image, imgproc.OtsuThreshold(s.Image))
+	}
 	lines := lad.DetectBinary(bw, lad.DefaultConfig())
 	props := Propose(bw, lines, cfg)
 	for _, p := range props {
@@ -487,10 +503,17 @@ func exampleSet(s *dataset.Sample, cfg Config) []nn.Sample {
 // The binarise→LAD→propose→featurise stage runs per sample on tc.Workers
 // goroutines; examples are collected in input order, so the resulting model
 // does not depend on the worker count.
-func Train(rng *rand.Rand, samples []*dataset.Sample, cfg Config, tc TrainConfig) (*Model, error) {
+//
+// bws optionally carries the samples' pre-binarised images (parallel to
+// samples); nil binarises internally.
+func Train(rng *rand.Rand, samples []*dataset.Sample, bws []*imgproc.Binary, cfg Config, tc TrainConfig) (*Model, error) {
 	perSample := make([][]nn.Sample, len(samples))
 	parallel.For(tc.Workers, len(samples), func(i int) {
-		perSample[i] = exampleSet(samples[i], cfg)
+		var bw *imgproc.Binary
+		if bws != nil {
+			bw = bws[i]
+		}
+		perSample[i] = exampleSet(samples[i], bw, cfg)
 	})
 	total := 0
 	for _, ex := range perSample {

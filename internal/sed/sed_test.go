@@ -98,7 +98,7 @@ func TestTrainAndDetectSynthetic(t *testing.T) {
 	valSet := genSamples(t, tdgen.G1, 200, 8)
 	rng := rand.New(rand.NewSource(1))
 	tc := DefaultTrainConfig()
-	model, err := Train(rng, trainSet, DefaultConfig(), tc)
+	model, err := Train(rng, trainSet, nil, DefaultConfig(), tc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestTrainAndDetectSynthetic(t *testing.T) {
 }
 
 func TestTrainNoSamples(t *testing.T) {
-	if _, err := Train(rand.New(rand.NewSource(1)), nil, DefaultConfig(), DefaultTrainConfig()); err == nil {
+	if _, err := Train(rand.New(rand.NewSource(1)), nil, nil, DefaultConfig(), DefaultTrainConfig()); err == nil {
 		t.Error("training on empty set should fail")
 	}
 }
