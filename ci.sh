@@ -7,7 +7,10 @@
 #                     training pipeline, the pooled inference scratch
 #                     buffers and the concurrent SED/OCR perception stages
 #                     are only trustworthy race-clean
-#   5. benchmark smoke run: one iteration of the Fig. 1 single-image
+#   5. fuzz smoke:    a few seconds of coverage-guided fuzzing on each
+#                     text parser (VCD, TDL); regressions on previously
+#                     found inputs fail immediately via the seed corpus
+#   6. benchmark smoke run: one iteration of the Fig. 1 single-image
 #                     pipeline plus the bit-packed kernel micro-benchmarks
 #                     (imgproc word ops, morphology, perception stage), so
 #                     every hot path is exercised end to end
@@ -17,6 +20,8 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test -race ./...
+go test -run '^FuzzParse$' -fuzz '^FuzzParse$' -fuzztime 5s ./internal/vcd
+go test -run '^FuzzParse$' -fuzz '^FuzzParse$' -fuzztime 5s ./internal/tdl
 go test -run '^$' -bench BenchmarkFig1PipelineSingleImage -benchtime 1x .
 go test -run '^$' -bench BenchmarkBinaryOps -benchtime 1x ./internal/imgproc
 go test -run '^$' -bench BenchmarkMorphContours -benchtime 1x ./internal/morph

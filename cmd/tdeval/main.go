@@ -10,6 +10,7 @@
 //	tdeval -table 2             # one table: 1, ocr-synth, stats, 2, 3, overall
 //	tdeval -table overall -verbose
 //	tdeval -g1 128 -g2 64 -g3 48  # larger training mix
+//	tdeval -robustness -robustout BENCH_03.json  # corruption sweep
 package main
 
 import (
@@ -29,16 +30,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tdeval: ")
 	var (
-		table   = flag.String("table", "all", "experiment: all, 1, ocr-synth, stats, 2, 3, overall, noise, scale")
-		verbose = flag.Bool("verbose", false, "per-diagram detail for overall")
-		seed    = flag.Int64("seed", 1, "random seed")
-		g1      = flag.Int("g1", 64, "G1 training pictures")
-		g2      = flag.Int("g2", 32, "G2 training pictures")
-		g3      = flag.Int("g3", 24, "G3 training pictures")
-		valN    = flag.Int("val", 40, "synthetic validation pictures")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for generation and training (results are worker-count invariant)")
-		cpuProf = flag.String("cpuprofile", "", "write CPU profile to file")
-		memProf = flag.String("memprofile", "", "write heap profile to file on exit")
+		table      = flag.String("table", "all", "experiment: all, 1, ocr-synth, stats, 2, 3, overall, noise, scale")
+		robustness = flag.Bool("robustness", false, "run the corruption-type x severity robustness sweep instead of the tables")
+		robustOut  = flag.String("robustout", "", "also write the robustness sweep as JSON to this file (BENCH_03 format)")
+		verbose    = flag.Bool("verbose", false, "per-diagram detail for overall")
+		seed       = flag.Int64("seed", 1, "random seed")
+		g1         = flag.Int("g1", 64, "G1 training pictures")
+		g2         = flag.Int("g2", 32, "G2 training pictures")
+		g3         = flag.Int("g3", 24, "G3 training pictures")
+		valN       = flag.Int("val", 40, "synthetic validation pictures")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for generation and training (results are worker-count invariant)")
+		cpuProf    = flag.String("cpuprofile", "", "write CPU profile to file")
+		memProf    = flag.String("memprofile", "", "write heap profile to file on exit")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -81,6 +84,39 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trained pipeline in %v\n", time.Since(t0))
 		pipe = p
+	}
+
+	if *robustness {
+		val, err := eval.GenValidationSet(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, corpus, err := eval.CorpusStats(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweepOpts := eval.DefaultSweepOptions()
+		sweepOpts.Seed = *seed
+		sweepOpts.Workers = *workers
+		res, err := eval.RobustnessSweep(pipe, val, corpus, sweepOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res.Print(os.Stdout)
+		if *robustOut != "" {
+			f, err := os.Create(*robustOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := res.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *robustOut)
+		}
+		return
 	}
 
 	run := func(name string) bool { return *table == "all" || *table == name }

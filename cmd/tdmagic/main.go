@@ -9,6 +9,12 @@
 //	tdmagic -model model.gob -sva diagram.png         # SystemVerilog assertions
 //	tdmagic -model model.gob -report diagram.png      # detection details
 //	tdmagic -model model.gob -overlay o.png diagram.png  # annotated picture
+//	tdmagic -model model.gob -strict diagram.png      # fail on degraded inputs
+//
+// By default degraded inputs (low contrast, noise, cyclic interpretations)
+// still produce a best-effort partial specification; the degradations the
+// pipeline worked around are listed on stderr and the exit status stays 0.
+// -strict restores fail-fast behaviour: any degradation exits 1.
 //
 // Train a model first with tdtrain.
 package main
@@ -36,6 +42,7 @@ func main() {
 		asSVA   = flag.Bool("sva", false, "emit SystemVerilog assertions")
 		report  = flag.Bool("report", false, "also print detection details")
 		overlay = flag.String("overlay", "", "write the annotated picture (paper Fig. 6/7 style) to this PNG")
+		strict  = flag.Bool("strict", false, "fail (exit 1) on degraded inputs instead of emitting a best-effort partial specification")
 	)
 	flag.Parse()
 	if *model == "" || flag.NArg() != 1 {
@@ -55,10 +62,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	pipe.Strict = *strict
 	spec, rep, err := pipe.Translate(img)
 	if err != nil {
+		if rep != nil {
+			printDiags(rep)
+		}
 		log.Fatalf("translate: %v", err)
 	}
+	// In the default (graceful) mode a degraded picture still yields a
+	// best-effort partial specification; the degradations the pipeline
+	// worked around are reported on stderr so the output stays parseable.
+	printDiags(rep)
 	switch {
 	case *dot:
 		fmt.Print(spec.DOT(flag.Arg(0)))
@@ -89,16 +104,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote overlay %s\n", *overlay)
 	}
 	if *report {
-		fmt.Printf("\n-- detections --\n")
-		for _, d := range rep.Edges {
-			fmt.Printf("edge %-9s %v score %.2f\n", d.Type, d.Box, d.Score)
+		printReport(rep)
+	}
+}
+
+// printDiags lists the structured degradation diagnostics on stderr.
+func printDiags(rep *core.Report) {
+	for _, d := range rep.Diags {
+		if d.HasLocation {
+			fmt.Fprintf(os.Stderr, "tdmagic: %s/%s at %v: %s\n", d.Stage, d.Severity, d.Location, d.Message)
+		} else {
+			fmt.Fprintf(os.Stderr, "tdmagic: %s/%s: %s\n", d.Stage, d.Severity, d.Message)
 		}
-		for _, t := range rep.Texts {
-			fmt.Printf("text %-14q %v conf %.2f\n", t.Text, t.Box, t.Conf)
-		}
-		if rep.SEI != nil {
-			fmt.Printf("v-lines %d, h-lines %d, arrows %d\n",
-				len(rep.SEI.VLines), len(rep.SEI.HLines), len(rep.SEI.Arrows))
-		}
+	}
+}
+
+// printReport lists the detection details behind the specification.
+func printReport(rep *core.Report) {
+	fmt.Printf("\n-- detections --\n")
+	for _, d := range rep.Edges {
+		fmt.Printf("edge %-9s %v score %.2f\n", d.Type, d.Box, d.Score)
+	}
+	for _, t := range rep.Texts {
+		fmt.Printf("text %-14q %v conf %.2f\n", t.Text, t.Box, t.Conf)
+	}
+	if rep.SEI != nil {
+		fmt.Printf("v-lines %d, h-lines %d, arrows %d\n",
+			len(rep.SEI.VLines), len(rep.SEI.HLines), len(rep.SEI.Arrows))
 	}
 }

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/spo"
@@ -16,11 +20,38 @@ type BatchResult struct {
 	Err   error
 }
 
+// BatchOptions configures a batch translation.
+type BatchOptions struct {
+	// Workers is the fan-out width (<= 0 means GOMAXPROCS).
+	Workers int
+	// Timeout is the per-picture deadline; a translation that exceeds it
+	// is cancelled cooperatively and returns context.DeadlineExceeded in
+	// its BatchResult.Err. Zero means no deadline.
+	Timeout time.Duration
+}
+
+// batchHook, when non-nil, runs at the start of every item translation.
+// It exists purely as a fault-injection seam for the panic-recovery
+// regression tests.
+var batchHook func(index int)
+
 // TranslateAll translates many pictures concurrently, fanning the work out
 // over workers goroutines (default: GOMAXPROCS). The pipeline is
 // read-only during translation, so a single trained instance serves all
 // workers. Results are returned in input order.
 func (p *Pipeline) TranslateAll(imgs []*imgproc.Gray, workers int) []BatchResult {
+	return p.TranslateAllCtx(context.Background(), imgs, BatchOptions{Workers: workers})
+}
+
+// TranslateAllCtx is TranslateAll with per-item fault isolation: a panic
+// inside one picture's translation is recovered into that picture's
+// BatchResult.Err (with the stack), and opts.Timeout bounds each
+// picture's wall-clock via cooperative cancellation in the perception
+// stages — one pathological picture can neither hang nor kill the batch.
+// Cancelling ctx stops the whole batch; unstarted items report ctx's
+// error.
+func (p *Pipeline) TranslateAllCtx(ctx context.Context, imgs []*imgproc.Gray, opts BatchOptions) []BatchResult {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -35,8 +66,7 @@ func (p *Pipeline) TranslateAll(imgs []*imgproc.Gray, workers int) []BatchResult
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				s, rep, err := p.Translate(imgs[i])
-				results[i] = BatchResult{Index: i, SPO: s, Rep: rep, Err: err}
+				results[i] = p.translateItem(ctx, i, imgs[i], opts.Timeout)
 			}
 		}()
 	}
@@ -46,4 +76,26 @@ func (p *Pipeline) TranslateAll(imgs []*imgproc.Gray, workers int) []BatchResult
 	close(jobs)
 	wg.Wait()
 	return results
+}
+
+// translateItem runs one batch item under its deadline and panic guard.
+func (p *Pipeline) translateItem(ctx context.Context, i int, img *imgproc.Gray, timeout time.Duration) (res BatchResult) {
+	res = BatchResult{Index: i}
+	defer func() {
+		if r := recover(); r != nil {
+			res.SPO, res.Rep = nil, nil
+			res.Err = fmt.Errorf("core: translate panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	itemCtx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		itemCtx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	if batchHook != nil {
+		batchHook(i)
+	}
+	res.SPO, res.Rep, res.Err = p.TranslateContext(itemCtx, img)
+	return res
 }

@@ -5,11 +5,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 
 	"tdmagic/internal/dataset"
+	"tdmagic/internal/diag"
 	"tdmagic/internal/geom"
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/lad"
@@ -27,6 +29,11 @@ type Pipeline struct {
 	LADCfg lad.Config
 	OCRCfg ocr.DetectConfig
 	SEICfg sei.Config
+	// Strict restores fail-fast behaviour: degenerate inputs and
+	// non-partial-order interpretations return errors instead of partial
+	// results with diagnostics. The oracle experiments set it so
+	// structural failures stay visible as failures.
+	Strict bool
 }
 
 // Report exposes every intermediate result of a translation, for
@@ -36,6 +43,52 @@ type Report struct {
 	Edges []sed.Detection
 	Texts []ocr.Result
 	SEI   *sei.Output
+	// Diags records every degradation the translation worked around:
+	// refused degenerate inputs, repaired interpretations, suspicious
+	// stage outputs. Empty on a clean run.
+	Diags []diag.Diagnostic
+}
+
+// MaxPixels bounds the accepted picture area (width x height). Larger
+// inputs are refused up front: the morphology and proposal stages are
+// sized for document scans, and an adversarially huge bitmap must not be
+// able to stall a batch or exhaust memory.
+const MaxPixels = 1 << 26 // 67 Mpx, ~8192 x 8192
+
+// minDimension is the smallest width/height that can plausibly contain a
+// timing diagram; anything thinner is refused as degenerate.
+const minDimension = 8
+
+// validateInput screens a picture before any stage runs. It returns nil
+// when the picture is translatable, otherwise the diagnostics explaining
+// the refusal.
+func validateInput(img *imgproc.Gray) []diag.Diagnostic {
+	switch {
+	case img == nil:
+		return []diag.Diagnostic{diag.New(diag.StageInput, diag.Error, "nil image")}
+	case img.W <= 0 || img.H <= 0:
+		return []diag.Diagnostic{diag.New(diag.StageInput, diag.Error, "empty %dx%d image", img.W, img.H)}
+	case img.W < minDimension || img.H < minDimension:
+		return []diag.Diagnostic{diag.New(diag.StageInput, diag.Error,
+			"degenerate %dx%d image: both dimensions must be at least %d", img.W, img.H, minDimension)}
+	case img.W*img.H > MaxPixels:
+		return []diag.Diagnostic{diag.New(diag.StageInput, diag.Error,
+			"oversized %dx%d image exceeds the %d-pixel limit", img.W, img.H, MaxPixels)}
+	}
+	// A uniform picture (all paper or all ink) has no contrast to
+	// binarise; Otsu would split noise-free nothing.
+	uniform := true
+	for _, v := range img.Pix {
+		if v != img.Pix[0] {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return []diag.Diagnostic{diag.New(diag.StageInput, diag.Error,
+			"uniform image (every pixel %d): no ink/paper contrast", img.Pix[0])}
+	}
+	return nil
 }
 
 // TrainConfig bundles the training knobs of both learned modules.
@@ -104,41 +157,69 @@ func Train(rng *rand.Rand, samples []*dataset.Sample, cfg TrainConfig) (*Pipelin
 	}, nil
 }
 
-// Translate converts a timing-diagram picture into its SPO.
+// Translate converts a timing-diagram picture into its SPO. Unless
+// p.Strict is set, a degenerate input or a repaired interpretation
+// returns a best-effort (possibly empty) SPO with the degradations
+// recorded in Report.Diags rather than an error.
 func (p *Pipeline) Translate(img *imgproc.Gray) (*spo.SPO, *Report, error) {
-	rep := p.analyze(img)
-	out, err := sei.Interpret(sei.Input{
-		Width:  img.W,
-		Height: img.H,
-		Edges:  rep.Edges,
-		Lines:  rep.Lines,
-		Texts:  rep.Texts,
-	}, p.SEICfg)
+	return p.TranslateContext(context.Background(), img)
+}
+
+// TranslateContext is Translate under a context: the perception stages
+// check ctx cooperatively, so a deadline or cancellation stops the
+// translation within one stage pass and surfaces as ctx's error.
+func (p *Pipeline) TranslateContext(ctx context.Context, img *imgproc.Gray) (*spo.SPO, *Report, error) {
+	if ds := validateInput(img); ds != nil {
+		rep := &Report{Diags: ds}
+		if p.Strict {
+			return nil, rep, fmt.Errorf("core: %s", ds[0].Message)
+		}
+		return &spo.SPO{}, rep, nil
+	}
+	rep, err := p.analyzeStagesCtx(ctx, img, true)
 	if err != nil {
 		return nil, rep, err
 	}
-	rep.SEI = out
-	return out.SPO, rep, nil
+	return p.interpret(img, rep, rep.Edges)
 }
 
 // TranslateWithEdges runs LAD + OCR + SEI with externally supplied edge
 // boxes (e.g. ground truth, for oracle experiments and ablations).
 func (p *Pipeline) TranslateWithEdges(img *imgproc.Gray, edges []sed.Detection) (*spo.SPO, *Report, error) {
+	if ds := validateInput(img); ds != nil {
+		rep := &Report{Diags: ds}
+		if p.Strict {
+			return nil, rep, fmt.Errorf("core: %s", ds[0].Message)
+		}
+		return &spo.SPO{}, rep, nil
+	}
 	// The supplied edges replace SED's output wholesale, so the detector
 	// stage is skipped entirely.
-	rep := p.analyzeStages(img, false)
+	rep, err := p.analyzeStagesCtx(context.Background(), img, false)
+	if err != nil {
+		return nil, rep, err
+	}
 	rep.Edges = edges
+	return p.interpret(img, rep, edges)
+}
+
+// interpret runs SEI over a perception report and threads the semantic
+// diagnostics onto it.
+func (p *Pipeline) interpret(img *imgproc.Gray, rep *Report, edges []sed.Detection) (*spo.SPO, *Report, error) {
+	cfg := p.SEICfg
+	cfg.Strict = p.Strict
 	out, err := sei.Interpret(sei.Input{
 		Width:  img.W,
 		Height: img.H,
 		Edges:  edges,
 		Lines:  rep.Lines,
 		Texts:  rep.Texts,
-	}, p.SEICfg)
+	}, cfg)
 	if err != nil {
 		return nil, rep, err
 	}
 	rep.SEI = out
+	rep.Diags = append(rep.Diags, out.Diags...)
 	return out.SPO, rep, nil
 }
 
@@ -146,42 +227,61 @@ func (p *Pipeline) TranslateWithEdges(img *imgproc.Gray, edges []sed.Detection) 
 // img, without semantic interpretation. It is the unit the perception
 // micro-benchmarks measure and is also useful for debugging tools that want
 // the intermediate report without an SPO.
-func (p *Pipeline) Analyze(img *imgproc.Gray) *Report { return p.analyze(img) }
-
-// analyze runs the perception stages shared by every translation mode.
-// Edge detections that coincide with recognised text are discarded: a
-// glyph like the signal name "X" is itself a small double-ramp shape, and
-// only the cross-check against OCR separates the two readings.
-func (p *Pipeline) analyze(img *imgproc.Gray) *Report {
-	return p.analyzeStages(img, true)
+func (p *Pipeline) Analyze(img *imgproc.Gray) *Report {
+	rep, _ := p.analyzeStagesCtx(context.Background(), img, true)
+	return rep
 }
 
-// analyzeStages runs LAD, then SED and OCR concurrently. The picture is
+// analyzeStagesCtx runs LAD, then SED and OCR concurrently. The picture is
 // binarised once inside lad.Detect and both downstream stages read the
 // shared packed image (and the contour result) without mutating either, so
 // they are free to overlap; the text/edge cross-check runs after the join
-// and the report is bit-identical to the sequential order.
-func (p *Pipeline) analyzeStages(img *imgproc.Gray, runSED bool) *Report {
-	lines := lad.Detect(img, p.LADCfg)
+// and the report is bit-identical to the sequential order. Edge detections
+// that coincide with recognised text are discarded: a glyph like the
+// signal name "X" is itself a small double-ramp shape, and only the
+// cross-check against OCR separates the two readings.
+//
+// Every stage checks ctx cooperatively; the first stage error (only ever
+// a context error) aborts the translation.
+func (p *Pipeline) analyzeStagesCtx(ctx context.Context, img *imgproc.Gray, runSED bool) (*Report, error) {
+	lines, err := lad.DetectCtx(ctx, img, p.LADCfg)
+	if err != nil {
+		return &Report{}, err
+	}
 	rep := &Report{Lines: lines}
+	if frac := float64(lines.BW.Count()) / float64(img.W*img.H); frac > 0.5 {
+		rep.Diags = append(rep.Diags, diag.New(diag.StageLAD, diag.Warning,
+			"%.0f%% of the picture binarised to ink: saturated or inverted scan", 100*frac))
+	}
 	runSED = runSED && p.SED != nil
 	var edges []sed.Detection
+	var sedErr error
 	var wg sync.WaitGroup
 	if runSED {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			edges = p.SED.Detect(img, lines)
+			edges, sedErr = p.SED.DetectCtx(ctx, img, lines)
 		}()
 	}
 	if p.OCR != nil {
-		rep.Texts = p.OCR.ReadAll(lines.BW, lines, p.OCRCfg)
+		texts, ocrErr := p.OCR.ReadAllCtx(ctx, lines.BW, lines, p.OCRCfg)
+		if ocrErr != nil {
+			if runSED {
+				wg.Wait()
+			}
+			return rep, ocrErr
+		}
+		rep.Texts = texts
 	}
 	if runSED {
 		wg.Wait()
+		if sedErr != nil {
+			return rep, sedErr
+		}
 		rep.Edges = dropTextOverlaps(edges, rep.Texts)
 	}
-	return rep
+	return rep, nil
 }
 
 // dropTextOverlaps filters edge detections that coincide with recognised

@@ -1,0 +1,304 @@
+// Package corrupt provides deterministic, seeded image-degradation
+// operators for robustness evaluation, ImageNet-C style. Each operator
+// is a pure function of (image, severity, seed): it never mutates its
+// input, severity 1–5 scales the damage, and the same arguments always
+// produce the same output, so corrupted corpora are exactly reproducible.
+//
+// The operators model the industrial error sources of paper Sec. VI.3:
+// scanner speckle (SaltPepper), defocused or low-resolution capture
+// (GaussianBlur, Alias), weak toner (ContrastFade), slightly rotated
+// sheets (Skew), sensor-line dropout (ScanlineDropout) and over-tight
+// cropping that chops the annotation margins (MarginCrop).
+package corrupt
+
+import (
+	"math"
+	"math/rand"
+
+	"tdmagic/internal/geom"
+	"tdmagic/internal/imgproc"
+)
+
+// MaxSeverity is the strongest supported degradation level.
+const MaxSeverity = 5
+
+// Func is a pure degradation operator. Severity <= 0 returns an
+// unmodified copy; severities above MaxSeverity clamp.
+type Func func(g *imgproc.Gray, severity int, seed int64) *imgproc.Gray
+
+// Op is a named operator plus the geometric transform it applies, so
+// evaluation code can keep ground-truth annotations aligned.
+type Op struct {
+	Name string
+	Fn   Func
+	// Offset reports the translation (dx, dy) the op applies to picture
+	// content at the given severity, for ground-truth realignment. All
+	// ops except MarginCrop leave content in place.
+	Offset func(severity, w, h int) (dx, dy int)
+}
+
+// noOffset is the identity transform shared by the in-place operators.
+func noOffset(int, int, int) (int, int) { return 0, 0 }
+
+// Ops returns the operator registry in a fixed, documented order.
+func Ops() []Op {
+	return []Op{
+		{Name: "saltpepper", Fn: SaltPepper, Offset: noOffset},
+		{Name: "blur", Fn: GaussianBlur, Offset: noOffset},
+		{Name: "contrast", Fn: ContrastFade, Offset: noOffset},
+		{Name: "skew", Fn: Skew, Offset: noOffset},
+		{Name: "scanline", Fn: ScanlineDropout, Offset: noOffset},
+		{Name: "alias", Fn: Alias, Offset: noOffset},
+		{Name: "crop", Fn: MarginCrop, Offset: cropOffset},
+	}
+}
+
+// ByName returns the named operator from the registry.
+func ByName(name string) (Op, bool) {
+	for _, op := range Ops() {
+		if op.Name == name {
+			return op, true
+		}
+	}
+	return Op{}, false
+}
+
+// clampSeverity normalises a severity to [0, MaxSeverity].
+func clampSeverity(s int) int {
+	if s < 0 {
+		return 0
+	}
+	if s > MaxSeverity {
+		return MaxSeverity
+	}
+	return s
+}
+
+// level picks the per-severity parameter; severity is 1-based.
+func level(params [MaxSeverity]float64, severity int) float64 {
+	return params[clampSeverity(severity)-1]
+}
+
+// rng builds the operator's deterministic random stream.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SaltPepper flips a severity-scaled fraction of pixels to pure ink or
+// pure paper — scanner speckle and dust.
+func SaltPepper(g *imgproc.Gray, severity int, seed int64) *imgproc.Gray {
+	severity = clampSeverity(severity)
+	out := g.Clone()
+	if severity == 0 || g.W == 0 || g.H == 0 {
+		return out
+	}
+	frac := level([MaxSeverity]float64{0.0005, 0.0015, 0.004, 0.008, 0.015}, severity)
+	n := int(frac * float64(g.W*g.H))
+	r := rng(seed)
+	for i := 0; i < n; i++ {
+		x, y := r.Intn(g.W), r.Intn(g.H)
+		if r.Intn(2) == 0 {
+			out.Set(x, y, 0) // pepper: ink speck
+		} else {
+			out.Set(x, y, 255) // salt: paper hole
+		}
+	}
+	return out
+}
+
+// GaussianBlur convolves with a separable Gaussian whose sigma grows
+// with severity — defocused capture and bleeding toner.
+func GaussianBlur(g *imgproc.Gray, severity int, seed int64) *imgproc.Gray {
+	severity = clampSeverity(severity)
+	out := g.Clone()
+	if severity == 0 || g.W == 0 || g.H == 0 {
+		return out
+	}
+	sigma := level([MaxSeverity]float64{0.6, 1.0, 1.5, 2.2, 3.0}, severity)
+	kernel := gaussKernel(sigma)
+	tmp := convolveRows(out, kernel)
+	return transposeGray(convolveRows(transposeGray(tmp), kernel))
+}
+
+// gaussKernel returns a normalised 1-D Gaussian of radius ceil(3 sigma).
+func gaussKernel(sigma float64) []float64 {
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	k := make([]float64, 2*radius+1)
+	sum := 0.0
+	for i := range k {
+		d := float64(i - radius)
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// convolveRows applies a 1-D kernel along every row with clamped edges.
+func convolveRows(g *imgproc.Gray, k []float64) *imgproc.Gray {
+	out := imgproc.NewGray(g.W, g.H)
+	radius := len(k) / 2
+	for y := 0; y < g.H; y++ {
+		row := g.Pix[y*g.W : (y+1)*g.W]
+		dst := out.Pix[y*g.W : (y+1)*g.W]
+		for x := 0; x < g.W; x++ {
+			acc := 0.0
+			for i, w := range k {
+				sx := x + i - radius
+				if sx < 0 {
+					sx = 0
+				} else if sx >= g.W {
+					sx = g.W - 1
+				}
+				acc += w * float64(row[sx])
+			}
+			dst[x] = uint8(geom.Clamp(int(acc+0.5), 0, 255))
+		}
+	}
+	return out
+}
+
+// transposeGray swaps rows and columns, letting the row convolution do
+// double duty for the vertical pass.
+func transposeGray(g *imgproc.Gray) *imgproc.Gray {
+	out := imgproc.NewGray(g.H, g.W)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			out.Pix[x*g.H+y] = g.Pix[y*g.W+x]
+		}
+	}
+	return out
+}
+
+// ContrastFade compresses ink toward paper and overlays mild sensor
+// noise — a washed-out, weak-toner scan.
+func ContrastFade(g *imgproc.Gray, severity int, seed int64) *imgproc.Gray {
+	severity = clampSeverity(severity)
+	out := g.Clone()
+	if severity == 0 {
+		return out
+	}
+	keep := level([MaxSeverity]float64{0.75, 0.58, 0.44, 0.32, 0.22}, severity)
+	noise := level([MaxSeverity]float64{4, 8, 12, 18, 25}, severity)
+	r := rng(seed)
+	for i, v := range out.Pix {
+		f := 255 - (255-float64(v))*keep + r.NormFloat64()*noise
+		out.Pix[i] = uint8(geom.Clamp(int(f+0.5), 0, 255))
+	}
+	return out
+}
+
+// Skew rotates the picture by a small severity-scaled angle (sign drawn
+// from the seed) around its centre, nearest-neighbour, white fill —
+// a sheet fed slightly crooked into the scanner.
+func Skew(g *imgproc.Gray, severity int, seed int64) *imgproc.Gray {
+	severity = clampSeverity(severity)
+	if severity == 0 || g.W == 0 || g.H == 0 {
+		return g.Clone()
+	}
+	deg := level([MaxSeverity]float64{0.3, 0.6, 1.0, 1.5, 2.2}, severity)
+	if rng(seed).Intn(2) == 0 {
+		deg = -deg
+	}
+	theta := deg * math.Pi / 180
+	sin, cos := math.Sin(theta), math.Cos(theta)
+	cx, cy := float64(g.W-1)/2, float64(g.H-1)/2
+	out := imgproc.NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			// Inverse map: rotate the destination point back by -theta.
+			dx, dy := float64(x)-cx, float64(y)-cy
+			sx := int(math.Round(cx + dx*cos + dy*sin))
+			sy := int(math.Round(cy - dx*sin + dy*cos))
+			out.Pix[y*g.W+x] = g.At(sx, sy) // out of range reads white
+		}
+	}
+	return out
+}
+
+// ScanlineDropout whitens a few random 1–2 px horizontal bands — sensor
+// line dropout, which can cut edges and dash patterns apart.
+func ScanlineDropout(g *imgproc.Gray, severity int, seed int64) *imgproc.Gray {
+	severity = clampSeverity(severity)
+	out := g.Clone()
+	if severity == 0 || g.H == 0 || g.W == 0 {
+		return out
+	}
+	bands := int(level([MaxSeverity]float64{2, 4, 7, 11, 16}, severity))
+	r := rng(seed)
+	for i := 0; i < bands; i++ {
+		y := r.Intn(g.H)
+		h := 1 + r.Intn(2)
+		for dy := 0; dy < h; dy++ {
+			if yy := y + dy; yy < g.H {
+				row := out.Pix[yy*g.W : (yy+1)*g.W]
+				for x := range row {
+					row[x] = 255
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Alias downsamples by a severity-scaled factor and scales back up,
+// nearest-neighbour both ways — low-resolution capture, where 1 px
+// dashes and thin strokes drop out entirely.
+func Alias(g *imgproc.Gray, severity int, seed int64) *imgproc.Gray {
+	severity = clampSeverity(severity)
+	if severity == 0 || g.W == 0 || g.H == 0 {
+		return g.Clone()
+	}
+	f := level([MaxSeverity]float64{0.85, 0.7, 0.6, 0.5, 0.4}, severity)
+	w := int(float64(g.W)*f + 0.5)
+	h := int(float64(g.H)*f + 0.5)
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return g.ScaleTo(w, h).ScaleTo(g.W, g.H)
+}
+
+// cropFrac is the per-side crop fraction at each severity.
+var cropFrac = [MaxSeverity]float64{0.02, 0.04, 0.06, 0.09, 0.12}
+
+// MarginCrop cuts a severity-scaled margin off every side — over-tight
+// cropping that chops signal names and boundary annotations. This is the
+// one operator that changes the picture geometry; cropOffset reports the
+// content shift.
+func MarginCrop(g *imgproc.Gray, severity int, seed int64) *imgproc.Gray {
+	severity = clampSeverity(severity)
+	if severity == 0 {
+		return g.Clone()
+	}
+	mx, my := cropMargins(severity, g.W, g.H)
+	return g.Crop(geom.Rect{X0: mx, Y0: my, X1: g.W - 1 - mx, Y1: g.H - 1 - my})
+}
+
+// cropMargins returns the per-side margins cut at a severity.
+func cropMargins(severity, w, h int) (mx, my int) {
+	f := level(cropFrac, severity)
+	mx = int(f * float64(w))
+	my = int(f * float64(h))
+	if 2*mx >= w {
+		mx = 0
+	}
+	if 2*my >= h {
+		my = 0
+	}
+	return mx, my
+}
+
+// cropOffset is MarginCrop's content translation.
+func cropOffset(severity, w, h int) (dx, dy int) {
+	if clampSeverity(severity) == 0 {
+		return 0, 0
+	}
+	mx, my := cropMargins(severity, w, h)
+	return -mx, -my
+}

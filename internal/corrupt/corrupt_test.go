@@ -1,0 +1,138 @@
+package corrupt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tdmagic/internal/imgproc"
+)
+
+// testImage builds a reproducible non-trivial grayscale picture.
+func testImage(w, h int) *imgproc.Gray {
+	g := imgproc.NewGray(w, h)
+	r := rand.New(rand.NewSource(7))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if r.Intn(5) == 0 {
+				g.Set(x, y, uint8(r.Intn(120)))
+			}
+		}
+	}
+	// A few solid strokes so blur/skew have structure to move.
+	for x := 10; x < w-10; x++ {
+		g.Set(x, h/2, 0)
+	}
+	for y := 5; y < h-5; y++ {
+		g.Set(w/3, y, 0)
+	}
+	return g
+}
+
+func TestOperatorsDeterministic(t *testing.T) {
+	img := testImage(120, 80)
+	for _, op := range Ops() {
+		for sev := 1; sev <= MaxSeverity; sev++ {
+			a := op.Fn(img, sev, 42)
+			b := op.Fn(img, sev, 42)
+			if a.W != b.W || a.H != b.H || !bytes.Equal(a.Pix, b.Pix) {
+				t.Errorf("%s severity %d: same seed produced different output", op.Name, sev)
+			}
+		}
+	}
+}
+
+func TestSeverityZeroIsIdentity(t *testing.T) {
+	img := testImage(100, 60)
+	for _, op := range Ops() {
+		got := op.Fn(img, 0, 99)
+		if got.W != img.W || got.H != img.H || !bytes.Equal(got.Pix, img.Pix) {
+			t.Errorf("%s severity 0 is not the identity", op.Name)
+		}
+		if dx, dy := op.Offset(0, img.W, img.H); dx != 0 || dy != 0 {
+			t.Errorf("%s severity 0 offset = (%d,%d), want (0,0)", op.Name, dx, dy)
+		}
+	}
+}
+
+func TestOperatorsDoNotMutateInput(t *testing.T) {
+	img := testImage(100, 60)
+	orig := img.Clone()
+	for _, op := range Ops() {
+		op.Fn(img, MaxSeverity, 13)
+		if !bytes.Equal(img.Pix, orig.Pix) {
+			t.Fatalf("%s mutated its input", op.Name)
+		}
+	}
+}
+
+func TestOperatorsActuallyDegrade(t *testing.T) {
+	img := testImage(160, 100)
+	for _, op := range Ops() {
+		got := op.Fn(img, 3, 5)
+		if got.W == img.W && got.H == img.H && bytes.Equal(got.Pix, img.Pix) {
+			t.Errorf("%s severity 3 left the picture untouched", op.Name)
+		}
+	}
+}
+
+func TestDimensionsPreservedExceptCrop(t *testing.T) {
+	img := testImage(90, 70)
+	for _, op := range Ops() {
+		got := op.Fn(img, MaxSeverity, 3)
+		if op.Name == "crop" {
+			if got.W >= img.W || got.H >= img.H {
+				t.Errorf("crop did not shrink the picture: %dx%d", got.W, got.H)
+			}
+			dx, dy := op.Offset(MaxSeverity, img.W, img.H)
+			if dx >= 0 || dy >= 0 {
+				t.Errorf("crop offset = (%d,%d), want negative", dx, dy)
+			}
+			continue
+		}
+		if got.W != img.W || got.H != img.H {
+			t.Errorf("%s changed dimensions to %dx%d", op.Name, got.W, got.H)
+		}
+	}
+}
+
+func TestSeverityClamping(t *testing.T) {
+	img := testImage(64, 48)
+	for _, op := range Ops() {
+		hi := op.Fn(img, MaxSeverity+10, 11)
+		want := op.Fn(img, MaxSeverity, 11)
+		if hi.W != want.W || hi.H != want.H || !bytes.Equal(hi.Pix, want.Pix) {
+			t.Errorf("%s: severity beyond max does not clamp", op.Name)
+		}
+		lo := op.Fn(img, -3, 11)
+		if !bytes.Equal(lo.Pix, img.Pix) {
+			t.Errorf("%s: negative severity is not the identity", op.Name)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	for _, dims := range [][2]int{{0, 0}, {1, 1}, {1, 64}, {64, 1}} {
+		img := imgproc.NewGray(dims[0], dims[1])
+		for _, op := range Ops() {
+			for sev := 0; sev <= MaxSeverity; sev++ {
+				got := op.Fn(img, sev, 1) // must not panic
+				if got == nil {
+					t.Fatalf("%s on %dx%d returned nil", op.Name, dims[0], dims[1])
+				}
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, op := range Ops() {
+		got, ok := ByName(op.Name)
+		if !ok || got.Name != op.Name {
+			t.Errorf("ByName(%q) failed", op.Name)
+		}
+	}
+	if _, ok := ByName("nonsense"); ok {
+		t.Error("ByName accepted an unknown operator")
+	}
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func sweepTestOptions() SweepOptions {
+	return SweepOptions{
+		Seed:       1,
+		Severities: []int{2, 5},
+		OpNames:    []string{"saltpepper", "crop"},
+		Timeout:    time.Minute,
+	}
+}
+
+func TestRobustnessSweepDeterministic(t *testing.T) {
+	pipe, val := setup(t)
+	val = val[:4]
+	a, err := RobustnessSweep(pipe, val, nil, sweepTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RobustnessSweep(pipe, val, nil, sweepTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two sweeps with the same seed differ:\n%+v\n%+v", a, b)
+	}
+	var ja, jb bytes.Buffer
+	if err := a.WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatal("sweep JSON is not byte-identical across runs")
+	}
+}
+
+// TestSweepCleanMatchesDirectPath pins the acceptance criterion that the
+// severity-0 baseline equals the existing clean evaluation: the same
+// pictures translated through the plain Translate path must yield the
+// same template/total fractions the sweep's Clean cell reports.
+func TestSweepCleanMatchesDirectPath(t *testing.T) {
+	pipe, val := setup(t)
+	val = val[:4]
+	res, err := RobustnessSweep(pipe, val, nil, sweepTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := res.Datasets[0]
+	var tmpl, total int
+	for _, s := range val {
+		got, _, err := pipe.Translate(s.Image)
+		if err != nil {
+			continue
+		}
+		if got.TemplateEqual(s.Truth) {
+			tmpl++
+		}
+		if got.TotalEqual(s.Truth) {
+			total++
+		}
+	}
+	n := float64(len(val))
+	if ds.Clean.Template != float64(tmpl)/n || ds.Clean.Total != float64(total)/n {
+		t.Errorf("clean cell (template %.3f total %.3f) != direct path (%.3f %.3f)",
+			ds.Clean.Template, ds.Clean.Total, float64(tmpl)/n, float64(total)/n)
+	}
+	if ds.Clean.Errors != 0 {
+		t.Errorf("clean baseline reported %d errors", ds.Clean.Errors)
+	}
+}
+
+func TestSweepGridShape(t *testing.T) {
+	pipe, val := setup(t)
+	val = val[:2]
+	opts := sweepTestOptions()
+	res, err := RobustnessSweep(pipe, val, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Datasets) != 1 {
+		t.Fatalf("datasets = %d, want 1 (no corpus passed)", len(res.Datasets))
+	}
+	ds := res.Datasets[0]
+	wantCells := len(opts.OpNames) * len(opts.Severities)
+	if len(ds.Cells) != wantCells {
+		t.Errorf("cells = %d, want %d", len(ds.Cells), wantCells)
+	}
+	if len(ds.Summary) != len(opts.OpNames) {
+		t.Errorf("summaries = %d, want %d", len(ds.Summary), len(opts.OpNames))
+	}
+	for _, c := range ds.Cells {
+		if c.N != len(val) {
+			t.Errorf("cell %s/%d evaluated %d pictures, want %d", c.Op, c.Severity, c.N, len(val))
+		}
+	}
+}
+
+func TestSweepRejectsUnknownOp(t *testing.T) {
+	pipe, val := setup(t)
+	opts := sweepTestOptions()
+	opts.OpNames = []string{"nonsense"}
+	if _, err := RobustnessSweep(pipe, val[:1], nil, opts); err == nil {
+		t.Fatal("unknown operator accepted")
+	}
+}

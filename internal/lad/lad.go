@@ -12,6 +12,7 @@
 package lad
 
 import (
+	"context"
 	"math/bits"
 
 	"tdmagic/internal/geom"
@@ -67,24 +68,58 @@ type Result struct {
 
 // Detect runs binarisation and contour extraction on img.
 func Detect(img *imgproc.Gray, cfg Config) *Result {
+	res, _ := DetectCtx(context.Background(), img, cfg)
+	return res
+}
+
+// DetectCtx is Detect with cooperative cancellation: the context is
+// checked between the binarisation and morphology passes and along the
+// per-contour density scans, so a pathological picture cannot run past
+// its deadline by more than one pass.
+func DetectCtx(ctx context.Context, img *imgproc.Gray, cfg Config) (*Result, error) {
 	thr := cfg.Threshold
 	if thr == 0 {
 		thr = imgproc.OtsuThreshold(img)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	bw := imgproc.Threshold(img, thr)
-	return DetectBinary(bw, cfg)
+	return DetectBinaryCtx(ctx, bw, cfg)
 }
 
 // DetectBinary runs contour extraction on an existing inverse binary image.
 func DetectBinary(bw *imgproc.Binary, cfg Config) *Result {
+	res, _ := DetectBinaryCtx(context.Background(), bw, cfg)
+	return res
+}
+
+// DetectBinaryCtx is DetectBinary with cooperative cancellation.
+func DetectBinaryCtx(ctx context.Context, bw *imgproc.Binary, cfg Config) (*Result, error) {
 	res := &Result{BW: bw}
-	for _, seg := range morph.VerticalContours(bw, cfg.VBridge, cfg.VMinLen, cfg.MaxThick) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, seg := range morph.VerticalContours(bw, cfg.VBridge, cfg.VMinLen, cfg.MaxThick) {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.V = append(res.V, VContour{Seg: seg, Density: vDensity(bw, seg)})
 	}
-	for _, seg := range morph.HorizontalContours(bw, cfg.HBridge, cfg.HMinLen, cfg.MaxThick) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, seg := range morph.HorizontalContours(bw, cfg.HBridge, cfg.HMinLen, cfg.MaxThick) {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.H = append(res.H, HContour{Seg: seg, Density: hDensity(bw, seg)})
 	}
-	return res
+	return res, nil
 }
 
 // vDensity measures the raw ink fraction along a vertical segment, probing

@@ -126,9 +126,9 @@ func shiftRowsUpInto(dst, src *imgproc.Binary, k int) {
 	stride := src.Stride
 	n := (src.H - k) * stride
 	if n < 0 {
-		n = 0
+		n = 0 // element taller than the image: everything shifts out
 	}
-	copy(dst.Words[:n], src.Words[k*stride:])
+	copy(dst.Words[:n], src.Words[len(src.Words)-n:])
 	for i := n; i < len(dst.Words); i++ {
 		dst.Words[i] = 0
 	}

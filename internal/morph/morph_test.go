@@ -257,3 +257,29 @@ func TestContoursEmptyImage(t *testing.T) {
 		t.Error("empty image produced contours")
 	}
 }
+
+// TestTinyImageElements applies elements taller/wider than the image
+// itself; erosion must clear everything (border clipping) and dilation
+// must stay within bounds, never panic on the short word buffer.
+func TestTinyImageElements(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {3, 1}, {1, 3}, {4, 4}} {
+		b := imgproc.NewBinary(dims[0], dims[1])
+		for y := 0; y < dims[1]; y++ {
+			for x := 0; x < dims[0]; x++ {
+				b.Set(x, y, true)
+			}
+		}
+		for _, se := range []SE{VLine(9), HLine(9), Rect(9, 9)} {
+			if got := Erode(b, se).Count(); got != 0 {
+				t.Errorf("%dx%d erode by %dx%d: %d pixels survive, want 0",
+					dims[0], dims[1], se.W, se.H, got)
+			}
+			if got := Dilate(b, se).Count(); got != dims[0]*dims[1] {
+				t.Errorf("%dx%d dilate by %dx%d: %d pixels, want full",
+					dims[0], dims[1], se.W, se.H, got)
+			}
+			_ = Open(b, se)
+			_ = Close(b, se)
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package ocr
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -185,7 +186,11 @@ func (m *Model) classifyGrid(grid []float64, aspect float64) (rune, float64) {
 			ar = 1 / ar
 		}
 		d += 0.35 * (ar - 1) // aspect mismatch penalty
-		if d < bestDist {
+		// Break exact ties by rune so the winner does not depend on map
+		// iteration order: degraded glyphs (empty or shattered grids)
+		// routinely tie several templates, and the result must be
+		// deterministic run to run.
+		if d < bestDist || (d == bestDist && (best == 0 || ch < best)) {
 			bestDist = d
 			best = ch
 		}
@@ -439,9 +444,24 @@ func vOverlap(a, b geom.Rect) bool {
 // filter, so a long label next to an arrow head survives while pure-debris
 // clusters are dropped.
 func (m *Model) ReadAll(bw *imgproc.Binary, lines *lad.Result, cfg DetectConfig) []Result {
+	out, _ := m.ReadAllCtx(context.Background(), bw, lines, cfg)
+	return out
+}
+
+// ReadAllCtx is ReadAll with cooperative cancellation: the context is
+// checked before region detection and between text boxes, so a
+// pathological picture cannot run past its deadline by more than one
+// region's recognition.
+func (m *Model) ReadAllCtx(ctx context.Context, bw *imgproc.Binary, lines *lad.Result, cfg DetectConfig) ([]Result, error) {
 	const glyphTrimConf = 0.36
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var out []Result
 	for _, box := range DetectRegions(bw, lines, cfg) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		glyphs := m.readGlyphs(bw, box)
 		for len(glyphs) > 0 && glyphs[0].conf < glyphTrimConf {
 			glyphs = glyphs[1:]
@@ -465,7 +485,7 @@ func (m *Model) ReadAll(bw *imgproc.Binary, lines *lad.Result, cfg DetectConfig)
 		}
 		return out[i].Box.X0 < out[j].Box.X0
 	})
-	return out
+	return out, nil
 }
 
 // Lexicon post-processing: snap recognised strings to the nearest known

@@ -16,6 +16,7 @@
 package sed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -47,7 +48,18 @@ type Config struct {
 	BridgeGap int
 	// ScoreThreshold drops low-confidence classifications.
 	ScoreThreshold float64
+	// MaxProposals bounds the candidate components entering the O(n²)
+	// merge passes; beyond it the smallest components are discarded
+	// (deterministically). Clean pictures produce tens of candidates, so
+	// the cap only engages on pathological inputs — dense speckle noise
+	// can shatter into tens of thousands of single-pixel components and
+	// turn proposal merging quadratic. <= 0 selects DefaultMaxProposals.
+	MaxProposals int
 }
+
+// DefaultMaxProposals is the proposal cap used when Config.MaxProposals
+// is unset (also by models deserialised from before the field existed).
+const DefaultMaxProposals = 4000
 
 // DefaultConfig returns parameters tuned for the generated 900×540 pictures.
 func DefaultConfig() Config {
@@ -212,6 +224,7 @@ func Propose(bw *imgproc.Binary, lines *lad.Result, cfg Config) []geom.Rect {
 		boxes = append(boxes, c.Box)
 		areas = append(areas, c.Area)
 	}
+	boxes, areas = capProposals(boxes, areas, cfg.MaxProposals)
 	boxes, areas = mergeBoxes(boxes, areas, cfg.BridgeGap)
 	boxes, areas = stitchDiagonal(boxes, areas)
 	var out []geom.Rect
@@ -222,6 +235,34 @@ func Propose(bw *imgproc.Binary, lines *lad.Result, cfg Config) []geom.Rect {
 		out = append(out, tightBox(work, b).Expand(1, 1).Clip(work.Bounds()))
 	}
 	return out
+}
+
+// capProposals enforces Config.MaxProposals: when a degraded picture
+// shatters into more candidate components than the cap, only the largest
+// survive (ties broken by original order), keeping the quadratic merge
+// passes bounded. The kept boxes stay in their original order, so below
+// the cap the function is the identity and the clean path is unchanged.
+func capProposals(boxes []geom.Rect, areas []int, max int) ([]geom.Rect, []int) {
+	if max <= 0 {
+		max = DefaultMaxProposals
+	}
+	if len(boxes) <= max {
+		return boxes, areas
+	}
+	idx := make([]int, len(boxes))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return areas[idx[a]] > areas[idx[b]] })
+	keep := idx[:max]
+	sort.Ints(keep)
+	outB := make([]geom.Rect, len(keep))
+	outA := make([]int, len(keep))
+	for i, k := range keep {
+		outB[i] = boxes[k]
+		outA[i] = areas[k]
+	}
+	return outB, outA
 }
 
 // stitchDiagonal re-joins the pieces of a gentle ramp that a crossing
@@ -539,12 +580,29 @@ func Train(rng *rand.Rand, samples []*dataset.Sample, bws []*imgproc.Binary, cfg
 // The classify loop reuses pooled feature and activation buffers, so it
 // performs no transient allocation per candidate.
 func (m *Model) Detect(img *imgproc.Gray, lines *lad.Result) []Detection {
+	dets, _ := m.DetectCtx(context.Background(), img, lines)
+	return dets
+}
+
+// DetectCtx is Detect with cooperative cancellation: the context is
+// checked before proposal generation and along the classify loop, so a
+// pathological picture cannot run past its deadline by more than one
+// proposal pass (itself bounded by Config.MaxProposals).
+func (m *Model) DetectCtx(ctx context.Context, img *imgproc.Gray, lines *lad.Result) ([]Detection, error) {
 	bw := lines.BW
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	props := Propose(bw, lines, m.Cfg)
 	sc := m.getScratch()
 	defer m.scratch.Put(sc)
 	var dets []Detection
-	for _, p := range props {
+	for i, p := range props {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		sc.feat = FeaturesInto(sc.feat, bw, p, img.W, img.H)
 		class, prob := m.Net.PredictScratch(sc.nn, sc.feat)
 		if class == background || prob < m.Cfg.ScoreThreshold {
@@ -553,7 +611,7 @@ func (m *Model) Detect(img *imgproc.Gray, lines *lad.Result) []Detection {
 		dets = append(dets, Detection{Box: p, Type: spo.EdgeType(class), Score: prob})
 	}
 	SortDetections(dets)
-	return dets
+	return dets, nil
 }
 
 // SortDetections orders detections top-to-bottom then left-to-right, the

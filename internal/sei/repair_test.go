@@ -1,0 +1,101 @@
+package sei
+
+import (
+	"reflect"
+	"testing"
+
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/diag"
+	"tdmagic/internal/spo"
+)
+
+func cyclicSPO(t *testing.T, edges [][2]int) (*spo.SPO, []dataset.Arrow) {
+	t.Helper()
+	p := &spo.SPO{}
+	n := 0
+	for _, e := range edges {
+		if e[0] >= n {
+			n = e[0] + 1
+		}
+		if e[1] >= n {
+			n = e[1] + 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		p.AddNode(spo.Node{Signal: "s", EdgeIndex: i + 1, Type: spo.RiseStep})
+	}
+	var arrows []dataset.Arrow
+	for i, e := range edges {
+		if err := p.AddConstraint(e[0], e[1], "t"); err != nil {
+			t.Fatal(err)
+		}
+		arrows = append(arrows, dataset.Arrow{Y: 10 * i, X0: e[0] * 50, X1: e[1] * 50, Label: "t"})
+	}
+	return p, arrows
+}
+
+func TestRepairOrderBreaksCycle(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0: one constraint must go; the deterministic choice
+	// is the last-added one (2 -> 0).
+	p, arrows := cyclicSPO(t, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	cons, kept, diags := repairOrder(p, arrows)
+	if len(cons) != 2 || len(kept) != 2 {
+		t.Fatalf("kept %d constraints / %d arrows, want 2 / 2", len(cons), len(kept))
+	}
+	for _, c := range cons {
+		if c.Src == 2 && c.Dst == 0 {
+			t.Error("the last-added cycle constraint survived")
+		}
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly one drop", diags)
+	}
+	d := diags[0]
+	if d.Stage != diag.StageSEI || d.Severity != diag.Warning || !d.HasLocation {
+		t.Errorf("diag = %+v, want located SEI warning", d)
+	}
+	p.Constraints = cons
+	if err := p.Validate(); err != nil {
+		t.Errorf("repaired graph still invalid: %v", err)
+	}
+}
+
+func TestRepairOrderSelfLoops(t *testing.T) {
+	p, arrows := cyclicSPO(t, [][2]int{{0, 1}, {1, 1}, {1, 2}})
+	cons, kept, diags := repairOrder(p, arrows)
+	if len(cons) != 2 || len(kept) != 2 || len(diags) != 1 {
+		t.Fatalf("cons=%d kept=%d diags=%d, want 2/2/1", len(cons), len(kept), len(diags))
+	}
+	p.Constraints = cons
+	if err := p.Validate(); err != nil {
+		t.Errorf("repaired graph still invalid: %v", err)
+	}
+}
+
+func TestRepairOrderKeepsAcyclicPortion(t *testing.T) {
+	// Two disjoint pieces: an acyclic chain 0 -> 1 -> 2 and a 2-cycle
+	// 3 <-> 4. The chain must survive untouched.
+	p, arrows := cyclicSPO(t, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 3}})
+	cons, kept, _ := repairOrder(p, arrows)
+	if len(cons) != 3 {
+		t.Fatalf("kept %d constraints, want 3", len(cons))
+	}
+	if !reflect.DeepEqual(kept[0], arrows[0]) || !reflect.DeepEqual(kept[1], arrows[1]) {
+		t.Error("acyclic chain arrows were disturbed")
+	}
+	p.Constraints = cons
+	if err := p.Validate(); err != nil {
+		t.Errorf("repaired graph still invalid: %v", err)
+	}
+}
+
+func TestRepairOrderDeterministic(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 1}, {2, 0}, {4, 4}}
+	p1, a1 := cyclicSPO(t, edges)
+	p2, a2 := cyclicSPO(t, edges)
+	c1, k1, d1 := repairOrder(p1, a1)
+	c2, k2, d2 := repairOrder(p2, a2)
+	if !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(k1, k2) || !reflect.DeepEqual(d1, d2) {
+		t.Error("repair is not deterministic across identical inputs")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"tdmagic/internal/dataset"
+	"tdmagic/internal/diag"
 	"tdmagic/internal/geom"
 	"tdmagic/internal/lad"
 	"tdmagic/internal/ocr"
@@ -49,6 +50,11 @@ type Config struct {
 	// nearest known signal-value annotation (the paper's "empirical study
 	// on the style of annotating signal values").
 	ValueLexicon *ocr.Lexicon
+	// Strict restores the fail-fast behaviour: a cyclic or degenerate
+	// interpretation returns an error instead of dropping the minimal
+	// offending constraints and reporting diagnostics. The oracle
+	// experiments use it to keep structural failures visible as failures.
+	Strict bool
 }
 
 // DefaultConfig returns tolerances for the generated pictures.
@@ -91,6 +97,9 @@ type Output struct {
 	Constraints []ocr.Result
 	// Events lists every edge-box event found by Algorithm 1.
 	Events []Event
+	// Diags records every degradation the interpretation worked around
+	// (dropped constraints, repaired structure). Empty on a clean run.
+	Diags []diag.Diagnostic
 }
 
 // Interpret runs the full semantic analysis.
@@ -131,12 +140,13 @@ func Interpret(in Input, cfg Config) (*Output, error) {
 	}
 
 	// SPO generation.
-	p, labelled, err := buildSPO(in, cfg, groups, out.Events, arrows, names, values, constraints)
+	p, labelled, diags, err := buildSPO(in, cfg, groups, out.Events, arrows, names, values, constraints)
 	if err != nil {
 		return nil, err
 	}
 	out.SPO = p
 	out.Arrows = labelled
+	out.Diags = diags
 	return out, nil
 }
 
@@ -396,9 +406,12 @@ func appendHSegUnique(segs []geom.HSeg, s geom.HSeg) []geom.HSeg {
 
 // buildSPO generates the SPO: one node per unique vline referenced by a
 // timing constraint (paper Sec. V.3), attributed through its edge-box event;
-// one constraint per arrow, ordered left to right.
+// one constraint per arrow, ordered left to right. When the interpretation
+// is not a strict partial order, the minimal offending constraints are
+// dropped and reported as diagnostics — unless cfg.Strict, which keeps the
+// historical hard failure.
 func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
-	arrows []rawArrow, names, values, constraints []ocr.Result) (*spo.SPO, []dataset.Arrow, error) {
+	arrows []rawArrow, names, values, constraints []ocr.Result) (*spo.SPO, []dataset.Arrow, []diag.Diagnostic, error) {
 
 	// Map each edge box to (signal index, edge index within signal).
 	type sigPos struct{ signal, edge int }
@@ -501,16 +514,109 @@ func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
 		}
 		label := arrowLabel(a, constraints)
 		if err := p.AddConstraint(nodeIdx[x0], nodeIdx[x1], label); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		labelled = append(labelled, dataset.Arrow{Y: a.y, X0: x0, X1: x1, Label: label})
 	}
 	if err := p.Validate(); err != nil {
-		// A cyclic or degenerate interpretation is a structural failure:
-		// report it rather than emit a non-SPO.
-		return nil, nil, fmt.Errorf("sei: interpretation is not a strict partial order: %w", err)
+		if cfg.Strict {
+			// A cyclic or degenerate interpretation is a structural
+			// failure: report it rather than emit a non-SPO.
+			return nil, nil, nil, fmt.Errorf("sei: interpretation is not a strict partial order: %w", err)
+		}
+		// Best-effort mode: drop the minimal offending constraints and
+		// keep the rest of the interpretation usable.
+		var diags []diag.Diagnostic
+		p.Constraints, labelled, diags = repairOrder(p, labelled)
+		return p, labelled, diags, nil
 	}
-	return p, labelled, nil
+	return p, labelled, nil, nil
+}
+
+// repairOrder makes the constraint graph a strict partial order again by
+// dropping the minimal offending constraints: self-loops first, then one
+// constraint per remaining cycle (deterministically the last-added
+// constraint inside the cyclic residue, i.e. the rightmost arrow — later
+// arrows are likelier misreadings than the constraints they contradict).
+// labelled is the per-constraint arrow list and is pruned in lockstep.
+func repairOrder(p *spo.SPO, labelled []dataset.Arrow) ([]spo.Constraint, []dataset.Arrow, []diag.Diagnostic) {
+	var diags []diag.Diagnostic
+	cons := p.Constraints
+	drop := func(k int, why string) {
+		loc := geom.Rect{X0: labelled[k].X0, Y0: labelled[k].Y - 2, X1: labelled[k].X1, Y1: labelled[k].Y + 2}
+		diags = append(diags, diag.At(diag.StageSEI, diag.Warning, loc,
+			"dropped constraint %q (%d -> %d): %s", labelled[k].Label, cons[k].Src, cons[k].Dst, why))
+		cons = append(cons[:k], cons[k+1:]...)
+		labelled = append(labelled[:k], labelled[k+1:]...)
+	}
+	for k := 0; k < len(cons); k++ {
+		if cons[k].Src == cons[k].Dst {
+			drop(k, "self-loop violates irreflexivity")
+			k--
+		}
+	}
+	for {
+		p.Constraints = cons
+		residue := cyclicResidue(p)
+		if len(residue) == 0 {
+			return cons, labelled, diags
+		}
+		// Remove the last-added constraint that runs inside the residue.
+		removed := false
+		for k := len(cons) - 1; k >= 0; k-- {
+			if residue[cons[k].Src] && residue[cons[k].Dst] {
+				drop(k, "breaks a constraint cycle")
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			// Cannot happen: a non-empty residue always contains a
+			// constraint. Guard against an infinite loop regardless.
+			return cons, labelled, diags
+		}
+	}
+}
+
+// cyclicResidue runs Kahn's algorithm and returns the set of nodes left
+// unordered — exactly the nodes involved in (or downstream-locked by)
+// constraint cycles. An empty map means the graph is acyclic.
+func cyclicResidue(p *spo.SPO) map[int]bool {
+	n := len(p.Nodes)
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for _, c := range p.Constraints {
+		adj[c.Src] = append(adj[c.Src], c.Dst)
+		indeg[c.Dst]++
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		done++
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if done == n {
+		return nil
+	}
+	residue := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		if indeg[i] > 0 {
+			residue[i] = true
+		}
+	}
+	return residue
 }
 
 // thresholdText finds the printed threshold of an event: the value text

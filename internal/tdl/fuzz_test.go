@@ -1,0 +1,44 @@
+package tdl
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary documents to the TDL parser. The parser must
+// never panic, and every diagram it accepts must validate with finite
+// geometry — NaN extents sneaking past range checks corrupt the renderer.
+func FuzzParse(f *testing.F) {
+	f.Add(fig4LeftTD)
+	f.Add("signal a digital\nrise 0.1 0.2 *\n")
+	f.Add("width 900\nheight 540\naxes\nnoise 40 7\n")
+	f.Add("signal a ramp low=0.1 high=0.9 bounds=V/G\nrise 0.2 0.4 @90% *\n")
+	f.Add("signal a digital\nrise 0.1 0.2 *\nfall 0.3 0.4 *\narrow a.1 -> a.2 t row=0.5\n")
+	f.Add("signal a ramp low=NaN\n")
+	f.Add("signal a digital\nrise NaN 0.5\n")
+	f.Add("signal a ramp\nrise 0.2 0.4 @Inf:x\n")
+	f.Add("# comment only\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		d, err := Parse(doc)
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted diagram fails validation: %v", err)
+		}
+		for si, s := range d.Signals {
+			for ei, e := range s.Edges {
+				for _, v := range []float64{e.X0, e.X1, e.YLow, e.YHigh, e.Threshold} {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("signal %d edge %d carries non-finite geometry: %+v", si, ei, e)
+					}
+				}
+			}
+		}
+		for ai, a := range d.Arrows {
+			if math.IsNaN(a.Y) || math.IsInf(a.Y, 0) {
+				t.Fatalf("arrow %d carries non-finite row: %+v", ai, a)
+			}
+		}
+	})
+}

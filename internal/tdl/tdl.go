@@ -30,12 +30,27 @@ package tdl
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
 	"tdmagic/internal/diagram"
 	"tdmagic/internal/spo"
 )
+
+// parseFinite is ParseFloat restricted to finite values: "NaN"/"Inf"
+// would sail through the diagram's range checks (every comparison against
+// NaN is false) and corrupt the layout downstream.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}
 
 // parser carries per-parse state: the diagram under construction, the
 // index of the current signal, and its default levels.
@@ -154,7 +169,7 @@ func (p *parser) signalDirective(f []string) error {
 			}
 			s.BoundHigh, s.BoundLow = hi, lo
 		case "low", "high":
-			fv, err := strconv.ParseFloat(v, 64)
+			fv, err := parseFinite(v)
 			if err != nil {
 				return fmt.Errorf("bad %s %q", k, v)
 			}
@@ -181,8 +196,8 @@ func (p *parser) edgeDirective(f []string) error {
 	if len(f) < 3 {
 		return fmt.Errorf("%s needs X0 and X1", f[0])
 	}
-	x0, err1 := strconv.ParseFloat(f[1], 64)
-	x1, err2 := strconv.ParseFloat(f[2], 64)
+	x0, err1 := parseFinite(f[1])
+	x1, err2 := parseFinite(f[2])
 	if err1 != nil || err2 != nil {
 		return fmt.Errorf("bad extent %q %q", f[1], f[2])
 	}
@@ -240,7 +255,7 @@ func parseThreshold(s string) (float64, string, error) {
 	if !ok {
 		return 0, "", fmt.Errorf("threshold %q needs %% or level:text", s)
 	}
-	v, err := strconv.ParseFloat(frac, 64)
+	v, err := parseFinite(frac)
 	if err != nil || v < 0 || v > 1 {
 		return 0, "", fmt.Errorf("bad threshold level %q", frac)
 	}
@@ -266,7 +281,7 @@ func arrowDirective(d *diagram.Diagram, f []string) error {
 		case opt == "outward":
 			a.Outward = true
 		case strings.HasPrefix(opt, "row="):
-			v, err := strconv.ParseFloat(opt[4:], 64)
+			v, err := parseFinite(opt[4:])
 			if err != nil || v < 0 || v > 1 {
 				return fmt.Errorf("bad row %q", opt)
 			}

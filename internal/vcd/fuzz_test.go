@@ -1,0 +1,40 @@
+package vcd
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary documents to the VCD parser. The parser must
+// never panic, and every trace it does accept must be well-formed:
+// finite, monotonically timestamped samples only.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleVCD)
+	f.Add("$enddefinitions $end\n#0\n")
+	f.Add("$timescale 1ns $end\n$var wire 1 ! clk $end\n$enddefinitions $end\n#0\n1!\n#5\n0!\n")
+	f.Add("$scope module top $end\n$var real 64 % v $end\n$upscope $end\n$enddefinitions $end\n#0\nr1.25 %\n")
+	f.Add("$var wire 8 # bus $end\n$enddefinitions $end\n#0\nb1010 #\n")
+	f.Add("#NaN\n")
+	f.Add("#-1\n")
+	f.Add("#1e400\n")
+	f.Add("$timescale 999999999999999999999 ns $end\n")
+	f.Fuzz(func(t *testing.T, doc string) {
+		tr, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		for _, sig := range tr.Signals {
+			last := math.Inf(-1)
+			for _, p := range sig.Points {
+				if math.IsNaN(p.T) || math.IsInf(p.T, 0) || math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+					t.Fatalf("accepted non-finite sample (%v, %v) in %q", p.T, p.V, sig.Name)
+				}
+				if p.T < last {
+					t.Fatalf("accepted non-monotonic timestamps in %q: %v after %v", sig.Name, p.T, last)
+				}
+				last = p.T
+			}
+		}
+	})
+}

@@ -82,7 +82,10 @@ func Parse(r io.Reader) (*trace.Trace, error) {
 			// $comment/$date/$version/$dumpvars/$dumpall/$end...: skip.
 		case strings.HasPrefix(fields[0], "#"):
 			t, err := strconv.ParseFloat(fields[0][1:], 64)
-			if err != nil {
+			// ParseFloat accepts "NaN"/"Inf"; a non-finite or negative
+			// timestamp would poison the trace's monotonicity check
+			// (NaN compares false against everything), so reject here.
+			if err != nil || math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
 				return nil, fmt.Errorf("vcd: line %d: bad timestamp %q", lineNo, fields[0])
 			}
 			now = t * scale
@@ -181,7 +184,7 @@ func valueChange(ids map[string]*trace.Signal, now float64, fields []string) err
 			return fmt.Errorf("unknown id %q", fields[1])
 		}
 		v, err := strconv.ParseFloat(tok[1:], 64)
-		if err != nil || math.IsNaN(v) {
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("bad real value %q", tok)
 		}
 		return sig.Append(now, v)
