@@ -5,24 +5,79 @@
 #   3. go build       every package compiles
 #   4. go test -race  full suite under the race detector; the parallel
 #                     training pipeline, the pooled inference scratch
-#                     buffers and the concurrent SED/OCR perception stages
-#                     are only trustworthy race-clean
-#   5. fuzz smoke:    a few seconds of coverage-guided fuzzing on each
+#                     buffers, the concurrent SED/OCR perception stages and
+#                     the shared serving pipeline are only trustworthy
+#                     race-clean
+#   5. eval scoring invariance: the Table II matchers must produce
+#                     identical tp/fp/fn under any permutation of the
+#                     detection/ground-truth lists (run again explicitly so
+#                     a -run filter in step 4 can never silently skip it)
+#   6. fuzz smoke:    a few seconds of coverage-guided fuzzing on each
 #                     text parser (VCD, TDL); regressions on previously
 #                     found inputs fail immediately via the seed corpus
-#   6. benchmark smoke run: one iteration of the Fig. 1 single-image
+#   7. benchmark smoke run: one iteration of the Fig. 1 single-image
 #                     pipeline plus the bit-packed kernel micro-benchmarks
 #                     (imgproc word ops, morphology, perception stage), so
 #                     every hot path is exercised end to end
+#   8. serve smoke:   end to end over HTTP — train a tiny model, render a
+#                     .td fixture, start tdserve on a random port,
+#                     translate the picture twice (second reply must be a
+#                     byte-identical cache hit), scrape /metrics, then
+#                     SIGTERM and assert a clean drain and exit 0
 set -eux
 
 test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test -race ./...
+go test -run 'TestMatchPermutationInvariance|TestMatchNearestWins|TestMatchShortSegmentThreshold' -count 1 ./internal/eval
 go test -run '^FuzzParse$' -fuzz '^FuzzParse$' -fuzztime 5s ./internal/vcd
 go test -run '^FuzzParse$' -fuzz '^FuzzParse$' -fuzztime 5s ./internal/tdl
 go test -run '^$' -bench BenchmarkFig1PipelineSingleImage -benchtime 1x .
 go test -run '^$' -bench BenchmarkBinaryOps -benchtime 1x ./internal/imgproc
 go test -run '^$' -bench BenchmarkMorphContours -benchtime 1x ./internal/morph
 go test -run '^$' -bench 'BenchmarkAnalyze$' -benchtime 1x .
+
+# --- serve smoke -----------------------------------------------------------
+tmp=$(mktemp -d)
+serve_pid=""
+cleanup() {
+	[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/tdtrain" ./cmd/tdtrain
+go build -o "$tmp/tdrender" ./cmd/tdrender
+go build -o "$tmp/tdserve" ./cmd/tdserve
+"$tmp/tdtrain" -out "$tmp/model.gob" -g1 24 -g2 10 -g3 8
+"$tmp/tdrender" -in examples/testdata/m74hc595.td -out "$tmp/pic.png" >/dev/null
+
+"$tmp/tdserve" -model "$tmp/model.gob" -addr 127.0.0.1:0 \
+	>"$tmp/serve.out" 2>"$tmp/serve.err" &
+serve_pid=$!
+i=0
+until grep -q '^listening on ' "$tmp/serve.out" 2>/dev/null; do
+	i=$((i + 1))
+	test "$i" -le 100
+	kill -0 "$serve_pid"
+	sleep 0.2
+done
+addr=$(sed -n 's/^listening on //p' "$tmp/serve.out")
+
+curl -fsS --data-binary @"$tmp/pic.png" -H 'Content-Type: image/png' \
+	"http://$addr/v1/translate" >"$tmp/r1.json"
+grep -q '"spo"' "$tmp/r1.json"
+curl -fsS -D "$tmp/h2.txt" --data-binary @"$tmp/pic.png" -H 'Content-Type: image/png' \
+	"http://$addr/v1/translate" >"$tmp/r2.json"
+cmp "$tmp/r1.json" "$tmp/r2.json" # cache hit must be byte-identical
+grep -qi 'x-cache: hit' "$tmp/h2.txt"
+curl -fsS "http://$addr/healthz" | grep -q '"ok"'
+curl -fsS "http://$addr/metrics" >"$tmp/metrics.txt"
+grep -q '^tdserve_cache_hits_total 1$' "$tmp/metrics.txt"
+grep -q '^tdmagic_translations_total 1$' "$tmp/metrics.txt"
+
+kill -TERM "$serve_pid"
+wait "$serve_pid" # non-zero exit (failed drain) fails the gate via set -e
+serve_pid=""
+grep -q 'drained cleanly' "$tmp/serve.err"

@@ -24,6 +24,7 @@ import (
 
 	"tdmagic/internal/core"
 	"tdmagic/internal/eval"
+	"tdmagic/internal/metrics"
 )
 
 func main() {
@@ -42,6 +43,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for generation and training (results are worker-count invariant)")
 		cpuProf    = flag.String("cpuprofile", "", "write CPU profile to file")
 		memProf    = flag.String("memprofile", "", "write heap profile to file on exit")
+		showMetric = flag.Bool("metrics", false, "print the translation metric exposition (same counters tdserve exports) to stderr after the run")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -76,6 +78,7 @@ func main() {
 	opts.Workers = *workers
 
 	var pipe *core.Pipeline
+	var reg *metrics.Registry
 	if *table != "stats" {
 		t0 := time.Now()
 		p, err := eval.TrainPipeline(opts)
@@ -84,6 +87,19 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trained pipeline in %v\n", time.Since(t0))
 		pipe = p
+		if *showMetric {
+			// The exact counter bundle tdserve exports on /metrics, so an
+			// offline evaluation and a serving deployment are comparable
+			// number for number.
+			reg = metrics.NewRegistry()
+			pipe.Metrics = core.NewPipelineMetrics(reg)
+			defer func() {
+				fmt.Fprintln(os.Stderr, "-- translation metrics --")
+				if err := reg.WriteText(os.Stderr); err != nil {
+					log.Print(err)
+				}
+			}()
+		}
 	}
 
 	if *robustness {

@@ -1,0 +1,90 @@
+// Command tdserve serves a trained TD-Magic model over HTTP: PNG timing
+// diagrams in, SPO formal specifications out.
+//
+// Usage:
+//
+//	tdserve -model model.gob [-addr :8080] [-workers 4] [-queue 16]
+//	        [-cache 256] [-timeout 30s] [-max-body 33554432] [-drain 30s]
+//
+// Endpoints:
+//
+//	POST /v1/translate        one PNG body -> SPO JSON + diagnostics
+//	POST /v1/translate/batch  multipart/form-data PNG parts -> JSON array
+//	GET  /healthz             liveness probe
+//	GET  /metrics             Prometheus-style text metrics
+//
+// The service runs a bounded worker pool: -workers translations execute
+// concurrently, -queue more may wait, and anything beyond that is shed
+// immediately with 429 + Retry-After. Identical pictures (by pixel
+// content, not file bytes) are answered from an LRU cache. On SIGTERM or
+// SIGINT the listener closes and in-flight requests drain gracefully for
+// up to -drain before the process exits.
+//
+// Train a model first with tdtrain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tdmagic/internal/core"
+	"tdmagic/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdserve: ")
+	var (
+		model   = flag.String("model", "", "trained model file from tdtrain (required)")
+		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers = flag.Int("workers", 0, "concurrent translations (0 = GOMAXPROCS, capped at 8)")
+		queue   = flag.Int("queue", 0, "requests allowed to wait for a worker before 429 (0 = 4x workers)")
+		cache   = flag.Int("cache", 256, "result-cache entries keyed by picture content (-1 disables)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request translation deadline")
+		maxBody = flag.Int64("max-body", 32<<20, "largest accepted PNG body in bytes")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+	if *model == "" || flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	pipe, err := core.LoadFile(*model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := serve.New(pipe, serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		Timeout:      *timeout,
+		MaxBodyBytes: *maxBody,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The bound address goes to stdout so scripts that asked for port 0
+	// can discover the port.
+	fmt.Printf("listening on %s\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	log.Printf("shutting down: draining in-flight requests (up to %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

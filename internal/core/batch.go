@@ -85,6 +85,9 @@ func (p *Pipeline) translateItem(ctx context.Context, i int, img *imgproc.Gray, 
 		if r := recover(); r != nil {
 			res.SPO, res.Rep = nil, nil
 			res.Err = fmt.Errorf("core: translate panicked: %v\n%s", r, debug.Stack())
+			if p.Metrics != nil {
+				p.Metrics.observeBatchPanic()
+			}
 		}
 	}()
 	itemCtx := ctx

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"tdmagic/internal/spo"
+)
+
+// TestConcurrentTranslateShared pins the serving precondition: one trained
+// Pipeline instance must serve many goroutines calling Translate at once.
+// Under `go test -race` this exercises the sync.Pool inference scratch in
+// sed and ocr (per-goroutine buffer reuse) and the stage-concurrent
+// SED ∥ OCR analyze path, and the results must be identical to a
+// sequential run of the same pictures.
+func TestConcurrentTranslateShared(t *testing.T) {
+	pipe, val := trainSmall(t)
+
+	// Sequential reference, one result per picture.
+	type ref struct {
+		spo *spo.SPO
+		err error
+	}
+	refs := make([]ref, len(val))
+	for i, s := range val {
+		got, _, err := pipe.Translate(s.Image)
+		refs[i] = ref{got, err}
+	}
+
+	const goroutines = 8
+	const rounds = 3
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Stagger the picture order per goroutine so different
+				// goroutines hit the same model on different inputs
+				// simultaneously.
+				for k := 0; k < len(val); k++ {
+					i := (k + g) % len(val)
+					got, rep, err := pipe.Translate(val[i].Image)
+					if (err == nil) != (refs[i].err == nil) {
+						t.Errorf("goroutine %d sample %d: err %v, sequential %v", g, i, err, refs[i].err)
+						continue
+					}
+					if err != nil {
+						continue
+					}
+					if rep == nil || rep.Lines == nil {
+						t.Errorf("goroutine %d sample %d: missing report", g, i)
+						continue
+					}
+					if !got.TotalEqual(refs[i].spo) {
+						t.Errorf("goroutine %d sample %d: concurrent result differs from sequential", g, i)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

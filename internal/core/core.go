@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"tdmagic/internal/dataset"
 	"tdmagic/internal/diag"
@@ -23,6 +24,16 @@ import (
 )
 
 // Pipeline is a trained TD-Magic instance.
+//
+// A Pipeline is safe for concurrent use: once trained (or loaded), every
+// translation entry point — Translate, TranslateContext, TranslateAll,
+// TranslateAllCtx, TranslateWithEdges, Analyze — only reads the model
+// state, and the per-call scratch buffers in the SED and OCR models are
+// pooled per goroutine (sync.Pool), so one shared instance serves any
+// number of concurrent callers. This is the contract the tdserve worker
+// pool and the batch path rely on; TestConcurrentTranslateShared pins it
+// under the race detector. The mutable knobs (Strict, Metrics) must be set
+// before the pipeline is shared.
 type Pipeline struct {
 	SED    *sed.Model
 	OCR    *ocr.Model
@@ -34,6 +45,12 @@ type Pipeline struct {
 	// results with diagnostics. The oracle experiments set it so
 	// structural failures stay visible as failures.
 	Strict bool
+	// Metrics, when non-nil, records every translation's outcome and
+	// latency. The same bundle is shared by the CLI, the batch path and
+	// tdserve, so their counters are directly comparable. Set it before
+	// the pipeline is shared between goroutines; recording itself is
+	// atomic and concurrency-safe.
+	Metrics *PipelineMetrics
 }
 
 // Report exposes every intermediate result of a translation, for
@@ -168,7 +185,18 @@ func (p *Pipeline) Translate(img *imgproc.Gray) (*spo.SPO, *Report, error) {
 // TranslateContext is Translate under a context: the perception stages
 // check ctx cooperatively, so a deadline or cancellation stops the
 // translation within one stage pass and surfaces as ctx's error.
-func (p *Pipeline) TranslateContext(ctx context.Context, img *imgproc.Gray) (*spo.SPO, *Report, error) {
+func (p *Pipeline) TranslateContext(ctx context.Context, img *imgproc.Gray) (out *spo.SPO, rep *Report, err error) {
+	if p.Metrics != nil {
+		start := time.Now()
+		defer func() {
+			p.Metrics.observe(time.Since(start), rep, err)
+		}()
+	}
+	return p.translateContext(ctx, img)
+}
+
+// translateContext is TranslateContext without the metrics wrapper.
+func (p *Pipeline) translateContext(ctx context.Context, img *imgproc.Gray) (*spo.SPO, *Report, error) {
 	if ds := validateInput(img); ds != nil {
 		rep := &Report{Diags: ds}
 		if p.Strict {

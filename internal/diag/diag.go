@@ -43,6 +43,22 @@ func (s Severity) String() string {
 // readable and byte-stable.
 func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
 
+// UnmarshalText decodes a severity name, so JSON diagnostics round-trip
+// (the tdserve client payloads rely on this).
+func (s *Severity) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "info":
+		*s = Info
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("diag: unknown severity %q", text)
+	}
+	return nil
+}
+
 // Pipeline stage names used in diagnostics.
 const (
 	StageInput = "input" // up-front picture validation

@@ -16,6 +16,14 @@ func TestSeverityText(t *testing.T) {
 		if err != nil || string(b) != `"`+want+`"` {
 			t.Errorf("marshal %v = %s (%v)", sev, b, err)
 		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil || back != sev {
+			t.Errorf("unmarshal %s = %v (%v), want %v", b, back, err, sev)
+		}
+	}
+	var s Severity
+	if err := s.UnmarshalText([]byte("catastrophic")); err == nil {
+		t.Error("unknown severity accepted")
 	}
 }
 

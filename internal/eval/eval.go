@@ -346,77 +346,133 @@ func (r *TableIIResult) Print(w io.Writer) {
 	}
 }
 
-// matchVLines greedily matches detected event lines to ground truth by
-// column proximity and span overlap.
+// matchCand is one admissible detection/ground-truth pairing, ranked for
+// the order-independent greedy assignment in assignNearest. Cost is the
+// primary rank (smaller is closer); overlap breaks cost ties (larger is
+// better); dKey/gKey are the pair's full geometry, so the final sort order
+// depends only on coordinates, never on input order.
+type matchCand struct {
+	cost    int
+	overlap int
+	dKey    [3]int
+	gKey    [3]int
+	d, g    int
+}
+
+// assignNearest performs a globally ranked greedy one-to-one assignment:
+// candidate pairs are sorted nearest-first (with purely geometric
+// tie-breaking) and consumed in that order, each binding one unused
+// detection to one unused ground truth. Because the ranking ignores slice
+// positions, tp/fp/fn are invariant under any permutation of the
+// detections and the ground truth.
+func assignNearest(nDets, nGts int, cands []matchCand) (tp, fp, fn int) {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.cost != b.cost {
+			return a.cost < b.cost
+		}
+		if a.overlap != b.overlap {
+			return a.overlap > b.overlap
+		}
+		if a.dKey != b.dKey {
+			return lessKey(a.dKey, b.dKey)
+		}
+		return lessKey(a.gKey, b.gKey)
+	})
+	usedD := make([]bool, nDets)
+	usedG := make([]bool, nGts)
+	for _, c := range cands {
+		if usedD[c.d] || usedG[c.g] {
+			continue
+		}
+		usedD[c.d], usedG[c.g] = true, true
+		tp++
+	}
+	return tp, nDets - tp, nGts - tp
+}
+
+func lessKey(a, b [3]int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// segSpanMatch reports whether a detection within axis distance dist of a
+// ground-truth segment of length gLen covers at least half of it. The
+// half-length threshold is computed without integer division: requiring
+// overlap >= gLen/2 would truncate to 0 for a length-1 ground truth and
+// admit an adjacent, zero-overlap detection.
+func segSpanMatch(dist, overlap, gLen int) bool {
+	return dist <= 4 && 2*overlap >= gLen
+}
+
+// matchVLines matches detected event lines to ground truth by column
+// proximity and span overlap, binding each detection to the nearest unused
+// candidate (by column distance, then overlap).
 func matchVLines(dets, gts []geom.VSeg) (tp, fp, fn int) {
-	used := make([]bool, len(gts))
-	for _, d := range dets {
-		hit := false
-		for i, g := range gts {
-			if used[i] || geom.Abs(d.X-g.X) > 4 {
+	var cands []matchCand
+	for di, d := range dets {
+		for gi, g := range gts {
+			dist := geom.Abs(d.X - g.X)
+			ov := overlap1D(d.Y0, d.Y1, g.Y0, g.Y1)
+			if !segSpanMatch(dist, ov, g.Len()) {
 				continue
 			}
-			if overlap1D(d.Y0, d.Y1, g.Y0, g.Y1) >= g.Len()/2 {
-				used[i] = true
-				hit = true
-				break
-			}
-		}
-		if hit {
-			tp++
-		} else {
-			fp++
+			cands = append(cands, matchCand{
+				cost: dist, overlap: ov,
+				dKey: [3]int{d.X, d.Y0, d.Y1},
+				gKey: [3]int{g.X, g.Y0, g.Y1},
+				d:    di, g: gi,
+			})
 		}
 	}
-	return tp, fp, len(gts) - tp
+	return assignNearest(len(dets), len(gts), cands)
 }
 
-// matchHLines matches threshold lines by row proximity and span overlap.
+// matchHLines matches threshold lines by row proximity and span overlap,
+// binding each detection to the nearest unused candidate.
 func matchHLines(dets, gts []geom.HSeg) (tp, fp, fn int) {
-	used := make([]bool, len(gts))
-	for _, d := range dets {
-		hit := false
-		for i, g := range gts {
-			if used[i] || geom.Abs(d.Y-g.Y) > 4 {
+	var cands []matchCand
+	for di, d := range dets {
+		for gi, g := range gts {
+			dist := geom.Abs(d.Y - g.Y)
+			ov := overlap1D(d.X0, d.X1, g.X0, g.X1)
+			if !segSpanMatch(dist, ov, g.Len()) {
 				continue
 			}
-			if overlap1D(d.X0, d.X1, g.X0, g.X1) >= g.Len()/2 {
-				used[i] = true
-				hit = true
-				break
-			}
-		}
-		if hit {
-			tp++
-		} else {
-			fp++
+			cands = append(cands, matchCand{
+				cost: dist, overlap: ov,
+				dKey: [3]int{d.Y, d.X0, d.X1},
+				gKey: [3]int{g.Y, g.X0, g.X1},
+				d:    di, g: gi,
+			})
 		}
 	}
-	return tp, fp, len(gts) - tp
+	return assignNearest(len(dets), len(gts), cands)
 }
 
-// matchArrows matches arrows by row and endpoint proximity.
+// matchArrows matches arrows by row and endpoint proximity, binding each
+// detection to the unused candidate with the smallest total displacement.
 func matchArrows(dets []dataset.Arrow, gts []dataset.Arrow) (tp, fp, fn int) {
-	used := make([]bool, len(gts))
-	for _, d := range dets {
-		hit := false
-		for i, g := range gts {
-			if used[i] {
+	var cands []matchCand
+	for di, d := range dets {
+		for gi, g := range gts {
+			dy, dx0, dx1 := geom.Abs(d.Y-g.Y), geom.Abs(d.X0-g.X0), geom.Abs(d.X1-g.X1)
+			if dy > 5 || dx0 > 6 || dx1 > 6 {
 				continue
 			}
-			if geom.Abs(d.Y-g.Y) <= 5 && geom.Abs(d.X0-g.X0) <= 6 && geom.Abs(d.X1-g.X1) <= 6 {
-				used[i] = true
-				hit = true
-				break
-			}
-		}
-		if hit {
-			tp++
-		} else {
-			fp++
+			cands = append(cands, matchCand{
+				cost: dy + dx0 + dx1,
+				dKey: [3]int{d.Y, d.X0, d.X1},
+				gKey: [3]int{g.Y, g.X0, g.X1},
+				d:    di, g: gi,
+			})
 		}
 	}
-	return tp, fp, len(gts) - tp
+	return assignNearest(len(dets), len(gts), cands)
 }
 
 func overlap1D(a0, a1, b0, b1 int) int {

@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"tdmagic/internal/dataset"
+	"tdmagic/internal/geom"
+)
+
+// TestMatchPermutationInvariance shuffles detections and ground truth in
+// every matcher and asserts tp/fp/fn never move. The scenarios deliberately
+// contain contested candidates (two detections admissible for the same
+// ground truth and vice versa), which is exactly where the old
+// first-unused-candidate greedy depended on input order.
+func TestMatchPermutationInvariance(t *testing.T) {
+	vDets := []geom.VSeg{
+		{X: 10, Y0: 0, Y1: 40},
+		{X: 13, Y0: 0, Y1: 40},
+		{X: 14, Y0: 5, Y1: 35},
+		{X: 60, Y0: 0, Y1: 40},
+		{X: 200, Y0: 0, Y1: 10},
+	}
+	vGts := []geom.VSeg{
+		{X: 10, Y0: 0, Y1: 40},
+		{X: 14, Y0: 0, Y1: 40},
+		{X: 62, Y0: 0, Y1: 40},
+		{X: 120, Y0: 0, Y1: 40},
+	}
+	hDets := []geom.HSeg{
+		{Y: 20, X0: 0, X1: 100},
+		{Y: 22, X0: 0, X1: 100},
+		{Y: 23, X0: 10, X1: 90},
+		{Y: 80, X0: 0, X1: 100},
+	}
+	hGts := []geom.HSeg{
+		{Y: 20, X0: 0, X1: 100},
+		{Y: 24, X0: 0, X1: 100},
+		{Y: 83, X0: 0, X1: 100},
+	}
+	aDets := []dataset.Arrow{
+		{Y: 10, X0: 5, X1: 50},
+		{Y: 12, X0: 6, X1: 52},
+		{Y: 13, X0: 8, X1: 54},
+		{Y: 90, X0: 5, X1: 50},
+	}
+	aGts := []dataset.Arrow{
+		{Y: 11, X0: 5, X1: 50},
+		{Y: 14, X0: 9, X1: 55},
+		{Y: 60, X0: 5, X1: 50},
+	}
+
+	type counts struct{ tp, fp, fn int }
+	baseV := counts{}
+	baseV.tp, baseV.fp, baseV.fn = matchVLines(vDets, vGts)
+	baseH := counts{}
+	baseH.tp, baseH.fp, baseH.fn = matchHLines(hDets, hGts)
+	baseA := counts{}
+	baseA.tp, baseA.fp, baseA.fn = matchArrows(aDets, aGts)
+
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		v := append([]geom.VSeg(nil), vDets...)
+		vg := append([]geom.VSeg(nil), vGts...)
+		rng.Shuffle(len(v), func(i, j int) { v[i], v[j] = v[j], v[i] })
+		rng.Shuffle(len(vg), func(i, j int) { vg[i], vg[j] = vg[j], vg[i] })
+		var got counts
+		got.tp, got.fp, got.fn = matchVLines(v, vg)
+		if got != baseV {
+			t.Fatalf("trial %d: matchVLines = %+v under permutation, want %+v", trial, got, baseV)
+		}
+
+		h := append([]geom.HSeg(nil), hDets...)
+		hg := append([]geom.HSeg(nil), hGts...)
+		rng.Shuffle(len(h), func(i, j int) { h[i], h[j] = h[j], h[i] })
+		rng.Shuffle(len(hg), func(i, j int) { hg[i], hg[j] = hg[j], hg[i] })
+		got.tp, got.fp, got.fn = matchHLines(h, hg)
+		if got != baseH {
+			t.Fatalf("trial %d: matchHLines = %+v under permutation, want %+v", trial, got, baseH)
+		}
+
+		a := append([]dataset.Arrow(nil), aDets...)
+		ag := append([]dataset.Arrow(nil), aGts...)
+		rng.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+		rng.Shuffle(len(ag), func(i, j int) { ag[i], ag[j] = ag[j], ag[i] })
+		got.tp, got.fp, got.fn = matchArrows(a, ag)
+		if got != baseA {
+			t.Fatalf("trial %d: matchArrows = %+v under permutation, want %+v", trial, got, baseA)
+		}
+	}
+}
+
+// TestMatchNearestWins pins the nearest-candidate semantics: a detection
+// binds to the closest admissible ground truth, so a contested pair
+// resolves to two matches where the first-unused greedy could strand one.
+func TestMatchNearestWins(t *testing.T) {
+	// det A (X=10) is admissible for both gts; det B (X=14) only for the
+	// one at X=14. Binding A to the nearer gt (X=10) leaves X=14 for B:
+	// 2 tp regardless of the order the slices arrive in.
+	dets := []geom.VSeg{
+		{X: 10, Y0: 0, Y1: 40},
+		{X: 14, Y0: 0, Y1: 40},
+	}
+	gts := []geom.VSeg{
+		{X: 14, Y0: 0, Y1: 40}, // listed first: the old greedy bound A here
+		{X: 10, Y0: 0, Y1: 40},
+	}
+	tp, fp, fn := matchVLines(dets, gts)
+	if tp != 2 || fp != 0 || fn != 0 {
+		t.Errorf("matchVLines = %d/%d/%d, want 2/0/0", tp, fp, fn)
+	}
+
+	hDets := []geom.HSeg{{Y: 10, X0: 0, X1: 100}, {Y: 14, X0: 0, X1: 100}}
+	hGts := []geom.HSeg{{Y: 14, X0: 0, X1: 100}, {Y: 10, X0: 0, X1: 100}}
+	tp, fp, fn = matchHLines(hDets, hGts)
+	if tp != 2 || fp != 0 || fn != 0 {
+		t.Errorf("matchHLines = %d/%d/%d, want 2/0/0", tp, fp, fn)
+	}
+
+	aDets := []dataset.Arrow{{Y: 10, X0: 0, X1: 50}, {Y: 14, X0: 0, X1: 50}}
+	aGts := []dataset.Arrow{{Y: 14, X0: 0, X1: 50}, {Y: 10, X0: 0, X1: 50}}
+	tp, fp, fn = matchArrows(aDets, aGts)
+	if tp != 2 || fp != 0 || fn != 0 {
+		t.Errorf("matchArrows = %d/%d/%d, want 2/0/0", tp, fp, fn)
+	}
+}
+
+// TestMatchShortSegmentThreshold pins the half-overlap threshold on short
+// segments: overlap >= g.Len()/2 truncates to 0 for a length-1 ground
+// truth, so a detection with zero overlap (merely within the 4-px axis
+// gate) used to count as a true positive.
+func TestMatchShortSegmentThreshold(t *testing.T) {
+	// Length-1 ground truth at (X=10, Y=5); detection in a nearby column
+	// but spanning disjoint rows: no overlap, must not match.
+	gts := []geom.VSeg{{X: 10, Y0: 5, Y1: 5}}
+	dets := []geom.VSeg{{X: 12, Y0: 10, Y1: 20}}
+	if tp, fp, fn := matchVLines(dets, gts); tp != 0 || fp != 1 || fn != 1 {
+		t.Errorf("zero-overlap short segment: %d/%d/%d, want 0/1/1", tp, fp, fn)
+	}
+	// Covering the single row does match.
+	dets = []geom.VSeg{{X: 12, Y0: 0, Y1: 20}}
+	if tp, fp, fn := matchVLines(dets, gts); tp != 1 || fp != 0 || fn != 0 {
+		t.Errorf("covered short segment: %d/%d/%d, want 1/0/0", tp, fp, fn)
+	}
+
+	hGts := []geom.HSeg{{Y: 5, X0: 10, X1: 10}}
+	hDets := []geom.HSeg{{Y: 7, X0: 20, X1: 40}}
+	if tp, fp, fn := matchHLines(hDets, hGts); tp != 0 || fp != 1 || fn != 1 {
+		t.Errorf("zero-overlap short H segment: %d/%d/%d, want 0/1/1", tp, fp, fn)
+	}
+
+	// Odd length: 2*overlap >= len rounds the threshold up, not down. A
+	// length-5 ground truth needs overlap >= 3; overlap 2 must miss.
+	gts = []geom.VSeg{{X: 10, Y0: 0, Y1: 4}}
+	dets = []geom.VSeg{{X: 10, Y0: 3, Y1: 10}}
+	if tp, _, _ := matchVLines(dets, gts); tp != 0 {
+		t.Errorf("overlap 2 of length 5 matched; want miss (threshold rounds up)")
+	}
+	dets = []geom.VSeg{{X: 10, Y0: 2, Y1: 10}}
+	if tp, _, _ := matchVLines(dets, gts); tp != 1 {
+		t.Errorf("overlap 3 of length 5 missed; want match")
+	}
+}

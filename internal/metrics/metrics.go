@@ -1,0 +1,224 @@
+// Package metrics provides the lightweight observability layer shared by
+// every execution surface of the pipeline: the tdserve HTTP service, the
+// batch translation path and the evaluation harness all record into the
+// same counter and histogram types, so a number reported by tdeval means
+// exactly what the same number means on a serving dashboard.
+//
+// The package is dependency-free and allocation-free on the hot path:
+// counters are single atomics, histograms are fixed-bucket atomic arrays,
+// and both are safe for concurrent use without locks. Exposition follows
+// the Prometheus text format (one `# TYPE` line per metric, `_bucket`/
+// `_sum`/`_count` series for histograms) in deterministic registration
+// order, so scrapes are byte-stable for a fixed sequence of observations.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; counters only go up).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic value that can go up and down (e.g. in-flight
+// requests, queue occupancy).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n and returns the new value, so a gauge can double as the
+// atomic occupancy check of a bounded queue.
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram. Bounds are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Observations update one bucket counter and a float64 sum encoded in an
+// atomic uint64, so concurrent Observe calls never lock.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    atomic.Uint64  // math.Float64bits of the running sum
+}
+
+// DefBuckets are the default latency bounds in seconds, spanning sub-ms
+// kernel work to multi-second degraded translations.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// newHistogram builds a histogram with the given ascending upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one registered name.
+type metric struct {
+	name, help string
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+}
+
+// Registry holds named metrics and renders them as text. Registration
+// takes a lock; recorded values are read with atomics only.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]int{}}
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		return r.metrics[i].counter
+	}
+	c := &Counter{}
+	r.byName[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, help: help, counter: c})
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		return r.metrics[i].gauge
+	}
+	g := &Gauge{}
+	r.byName[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, help: help, gauge: g})
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram under name with
+// the given upper bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[name]; ok {
+		return r.metrics[i].hist
+	}
+	h := newHistogram(bounds)
+	r.byName[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, help: help, hist: h})
+	return h
+}
+
+// WriteText renders every registered metric in the Prometheus text format,
+// in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		switch {
+		case m.counter != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value()); err != nil {
+				return err
+			}
+		case m.gauge != nil:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value()); err != nil {
+				return err
+			}
+		case m.hist != nil:
+			if err := writeHistogram(w, m.name, m.hist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count series.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(ub), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+		name, cum, name, h.Sum(), name, cum)
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus does: shortest
+// decimal representation.
+func formatBound(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"tdmagic/internal/imgproc"
+)
+
+// cacheKey identifies a picture by content: the SHA-256 of its dimensions
+// and raw pixels. Two uploads of the same diagram — even through different
+// PNG encoders, compression levels or ancillary chunks — hash to the same
+// key, so the cache is keyed on what the pipeline actually sees.
+type cacheKey [sha256.Size]byte
+
+// hashImage computes the content key of a decoded picture.
+func hashImage(img *imgproc.Gray) cacheKey {
+	h := sha256.New()
+	var dims [16]byte
+	binary.LittleEndian.PutUint64(dims[0:8], uint64(img.W))
+	binary.LittleEndian.PutUint64(dims[8:16], uint64(img.H))
+	h.Write(dims[:])
+	h.Write(img.Pix)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// lruCache is a fixed-capacity least-recently-used map from content key to
+// a finished response body. Values are immutable once inserted: hits hand
+// out the stored slice without copying, which is what makes a cache hit
+// byte-identical to the first response.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *cacheEntry
+	items map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// newLRUCache returns a cache holding up to capacity entries; capacity <= 0
+// disables caching (every get misses, every put is dropped).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *lruCache) get(key cacheKey) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// full. The caller must not mutate body afterwards.
+func (c *lruCache) put(key cacheKey, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

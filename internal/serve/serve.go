@@ -1,0 +1,562 @@
+// Package serve exposes a trained TD-Magic pipeline as a concurrent HTTP
+// translation service — the serving surface of the reproduction. One
+// shared Pipeline (safe for concurrent Translate calls) sits behind a
+// bounded worker pool with explicit backpressure, a content-addressed
+// result cache, per-request translation deadlines and a metrics registry
+// shared with the batch evaluation path.
+//
+// Endpoints:
+//
+//	POST /v1/translate        PNG body in, SPO JSON + diagnostics out
+//	POST /v1/translate/batch  multipart/form-data of PNG files, JSON array out
+//	GET  /healthz             liveness + model summary
+//	GET  /metrics             Prometheus-style text exposition
+//
+// Backpressure model: at most Workers translations run at once; at most
+// QueueDepth further requests wait for a slot. A request that would grow
+// the wait queue beyond QueueDepth is rejected immediately with 429 and a
+// Retry-After header — the service sheds load instead of accumulating an
+// unbounded backlog. Batch items are admitted item-by-item through the
+// same gate, so one large batch cannot starve interactive traffic beyond
+// the configured queue.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"tdmagic/internal/core"
+	"tdmagic/internal/diag"
+	"tdmagic/internal/imgproc"
+	"tdmagic/internal/metrics"
+	"tdmagic/internal/spo"
+)
+
+// Config tunes the service. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Workers bounds concurrently executing translations (<= 0 means
+	// GOMAXPROCS, capped at 8).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot beyond the
+	// Workers in flight (<= 0 means 4x Workers). Overflow is answered
+	// with 429 + Retry-After.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries (< 0
+	// disables, 0 means 256).
+	CacheSize int
+	// Timeout is the per-request translation deadline enforced through
+	// the pipeline's cooperative-cancellation plumbing (<= 0 means 30s).
+	Timeout time.Duration
+	// MaxBodyBytes caps an uploaded PNG (and each batch part); larger
+	// bodies are refused with 400 (<= 0 means 32 MiB).
+	MaxBodyBytes int64
+	// MaxBatchParts caps the number of pictures in one batch request
+	// (<= 0 means 64).
+	MaxBatchParts int
+	// Registry receives the service and pipeline metrics; nil creates a
+	// private registry.
+	Registry *metrics.Registry
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxBatchParts <= 0 {
+		c.MaxBatchParts = 64
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.NewRegistry()
+	}
+}
+
+// Server is the HTTP translation service. Create one with New, mount
+// Handler on any http.Server (or use Start/Shutdown), and it is ready for
+// concurrent traffic.
+type Server struct {
+	cfg   Config
+	pipe  *core.Pipeline
+	cache *lruCache
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	httpSrv  *http.Server
+	listener net.Listener
+	startMu  sync.Mutex
+
+	requests    *metrics.Counter
+	batchReqs   *metrics.Counter
+	batchImages *metrics.Counter
+	cacheHits   *metrics.Counter
+	cacheMisses *metrics.Counter
+	rejections  *metrics.Counter
+	badRequests *metrics.Counter
+	inflight    *metrics.Gauge
+	queued      *metrics.Gauge
+}
+
+// translateHook, when non-nil, runs inside every translation job after the
+// worker slot is acquired. It is a test seam for pinning drain and
+// backpressure behaviour with a deterministic slow translation.
+var translateHook func()
+
+// New builds a Server around a trained pipeline. The pipeline's Metrics
+// field is populated from cfg.Registry (unless already set), so serving
+// and batch counters share one exposition.
+func New(pipe *core.Pipeline, cfg Config) *Server {
+	cfg.applyDefaults()
+	if pipe.Metrics == nil {
+		pipe.Metrics = core.NewPipelineMetrics(cfg.Registry)
+	}
+	s := &Server{
+		cfg:   cfg,
+		pipe:  pipe,
+		cache: newLRUCache(cfg.CacheSize),
+		sem:   make(chan struct{}, cfg.Workers),
+
+		requests:    cfg.Registry.Counter("tdserve_requests_total", "translate requests (single and batch items)"),
+		batchReqs:   cfg.Registry.Counter("tdserve_batch_requests_total", "batch translate requests"),
+		batchImages: cfg.Registry.Counter("tdserve_batch_images_total", "pictures received in batch requests"),
+		cacheHits:   cfg.Registry.Counter("tdserve_cache_hits_total", "translations answered from the result cache"),
+		cacheMisses: cfg.Registry.Counter("tdserve_cache_misses_total", "translations that missed the result cache"),
+		rejections:  cfg.Registry.Counter("tdserve_queue_rejections_total", "requests shed with 429 because the queue was full"),
+		badRequests: cfg.Registry.Counter("tdserve_bad_requests_total", "requests refused with 400"),
+		inflight:    cfg.Registry.Gauge("tdserve_inflight_translations", "translations currently executing"),
+		queued:      cfg.Registry.Gauge("tdserve_queued_requests", "requests waiting for a worker slot"),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/translate", s.handleTranslate)
+	s.mux.HandleFunc("/v1/translate/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the metrics registry the service records into.
+func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
+
+// Start listens on addr (host:port; port 0 picks a free port) and serves
+// in the background. The bound address is returned so callers that asked
+// for a random port can find it.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if s.listener != nil {
+		return nil, errors.New("serve: already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Shutdown drains the service gracefully: the listener stops accepting,
+// every in-flight request (including queued translations) runs to
+// completion, and only then does Shutdown return. ctx bounds the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.startMu.Lock()
+	srv := s.httpSrv
+	s.startMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// errQueueFull is returned by acquire when the wait queue is at capacity.
+var errQueueFull = errors.New("serve: translation queue full")
+
+// acquire claims a worker slot, waiting in the bounded queue if all
+// workers are busy. It fails fast with errQueueFull when the queue is at
+// capacity — the backpressure signal behind every 429.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		return errQueueFull
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// TranslateResponse is the success payload of /v1/translate.
+type TranslateResponse struct {
+	// SPO is the extracted specification graph.
+	SPO *spo.SPO `json:"spo"`
+	// Spec is the human-readable specification text (SpecText).
+	Spec string `json:"spec"`
+	// Diags lists the degradations the pipeline worked around; empty on
+	// a clean translation.
+	Diags []diag.Diagnostic `json:"diags,omitempty"`
+}
+
+// ErrorResponse is the failure payload: a message plus the structured
+// diagnostics that explain it, in the same shape the pipeline reports
+// degradations everywhere else.
+type ErrorResponse struct {
+	Error string            `json:"error"`
+	Diags []diag.Diagnostic `json:"diags,omitempty"`
+}
+
+// ItemResult is one picture's outcome in a batch response.
+type ItemResult struct {
+	// Name is the multipart part's file name.
+	Name string `json:"name"`
+	// Status is the HTTP status the picture would have received from the
+	// single-translate endpoint.
+	Status int `json:"status"`
+	// Cached reports whether the result came from the content cache.
+	Cached bool `json:"cached"`
+	*TranslateResponse
+	Error string            `json:"error,omitempty"`
+	Diags []diag.Diagnostic `json:"diags,omitempty"`
+}
+
+// processResult is the outcome of one translation job.
+type processResult struct {
+	status int
+	body   []byte // marshalled TranslateResponse or ErrorResponse
+	cached bool
+}
+
+// process translates one decoded picture through the cache, the bounded
+// worker pool and the per-request deadline. It is the shared execution
+// path of both endpoints.
+func (s *Server) process(ctx context.Context, img *imgproc.Gray) processResult {
+	s.requests.Inc()
+	key := hashImage(img)
+	if body, ok := s.cache.get(key); ok {
+		s.cacheHits.Inc()
+		return processResult{status: http.StatusOK, body: body, cached: true}
+	}
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.rejections.Inc()
+			return errorResult(http.StatusTooManyRequests, "translation queue full", nil)
+		}
+		return errorResult(statusForCtxErr(err), "request cancelled: "+err.Error(), nil)
+	}
+	defer s.release()
+	s.inflight.Inc()
+	defer s.inflight.Dec()
+	if translateHook != nil {
+		translateHook()
+	}
+
+	// One-item batch: reuses the per-item deadline, cooperative
+	// cancellation and panic isolation of the batch plumbing, so a
+	// pathological upload can neither hang a worker slot past the
+	// deadline nor take the process down.
+	res := s.pipe.TranslateAllCtx(ctx, []*imgproc.Gray{img}, core.BatchOptions{
+		Workers: 1,
+		Timeout: s.cfg.Timeout,
+	})[0]
+	if res.Err != nil {
+		status := statusForCtxErr(res.Err)
+		msg := "translation failed"
+		if errors.Is(res.Err, context.DeadlineExceeded) {
+			msg = fmt.Sprintf("translation exceeded the %v deadline", s.cfg.Timeout)
+		}
+		var ds []diag.Diagnostic
+		if res.Rep != nil {
+			ds = res.Rep.Diags
+		}
+		return errorResult(status, msg, ds)
+	}
+	if core.InputRefused(res.Rep) {
+		s.badRequests.Inc()
+		return errorResult(http.StatusBadRequest, "picture refused", res.Rep.Diags)
+	}
+	resp := TranslateResponse{SPO: res.SPO, Spec: res.SPO.SpecText()}
+	if res.Rep != nil {
+		resp.Diags = res.Rep.Diags
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return errorResult(http.StatusInternalServerError, "encode response: "+err.Error(), nil)
+	}
+	s.cacheMisses.Inc()
+	s.cache.put(key, body)
+	return processResult{status: http.StatusOK, body: body}
+}
+
+// statusForCtxErr maps a context/translation error to an HTTP status.
+func statusForCtxErr(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorResult marshals an ErrorResponse into a processResult.
+func errorResult(status int, msg string, ds []diag.Diagnostic) processResult {
+	body, _ := json.Marshal(ErrorResponse{Error: msg, Diags: ds})
+	return processResult{status: status, body: body}
+}
+
+// handleTranslate serves POST /v1/translate: a PNG body in, one SPO out.
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST a PNG body", nil)
+		return
+	}
+	img, errStatus, errMsg := s.readPNG(r.Body, r.ContentLength)
+	if errMsg != "" {
+		s.badRequests.Inc()
+		s.writeError(w, errStatus, errMsg, []diag.Diagnostic{
+			diag.New(diag.StageInput, diag.Error, "%s", errMsg),
+		})
+		return
+	}
+	res := s.process(r.Context(), img)
+	s.writeResult(w, res)
+}
+
+// handleBatch serves POST /v1/translate/batch: multipart/form-data where
+// every file part is one PNG. Items are translated concurrently through
+// the same cache and worker pool as single requests, and the response
+// carries one entry per part, in part order.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST multipart/form-data with PNG file parts", nil)
+		return
+	}
+	s.batchReqs.Inc()
+	mediaType, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || mediaType != "multipart/form-data" {
+		s.badRequests.Inc()
+		s.writeError(w, http.StatusBadRequest, "content type must be multipart/form-data", nil)
+		return
+	}
+	mr := multipart.NewReader(r.Body, params["boundary"])
+
+	type job struct {
+		name string
+		img  *imgproc.Gray
+		res  ItemResult
+	}
+	var jobs []*job
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			s.badRequests.Inc()
+			s.writeError(w, http.StatusBadRequest, "read multipart body: "+err.Error(), nil)
+			return
+		}
+		if len(jobs) >= s.cfg.MaxBatchParts {
+			part.Close()
+			s.badRequests.Inc()
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch exceeds %d pictures", s.cfg.MaxBatchParts), nil)
+			return
+		}
+		name := part.FileName()
+		if name == "" {
+			name = part.FormName()
+		}
+		j := &job{name: name}
+		img, status, msg := s.readPNGFrom(io.LimitReader(part, s.cfg.MaxBodyBytes+1))
+		part.Close()
+		if msg != "" {
+			j.res = ItemResult{Name: name, Status: status, Error: msg, Diags: []diag.Diagnostic{
+				diag.New(diag.StageInput, diag.Error, "%s", msg),
+			}}
+		} else {
+			j.img = img
+		}
+		jobs = append(jobs, j)
+	}
+	s.batchImages.Add(int64(len(jobs)))
+
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		if j.img == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			res := s.process(r.Context(), j.img)
+			j.res = itemResultFrom(j.name, res)
+		}(j)
+	}
+	wg.Wait()
+
+	out := make([]ItemResult, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.res
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Results []ItemResult `json:"results"`
+	}{out})
+}
+
+// itemResultFrom converts a processResult into a batch item entry by
+// unmarshalling the already-encoded body into the matching payload shape.
+func itemResultFrom(name string, res processResult) ItemResult {
+	item := ItemResult{Name: name, Status: res.status, Cached: res.cached}
+	if res.status == http.StatusOK {
+		var tr TranslateResponse
+		if err := json.Unmarshal(res.body, &tr); err == nil {
+			item.TranslateResponse = &tr
+		}
+		return item
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(res.body, &er); err == nil {
+		item.Error = er.Error
+		item.Diags = er.Diags
+	}
+	return item
+}
+
+// handleHealthz serves the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"status":"ok","workers":%d,"queue_depth":%d,"cache_entries":%d}%s`,
+		s.cfg.Workers, s.cfg.QueueDepth, s.cache.len(), "\n")
+}
+
+// handleMetrics serves the text exposition of every registered metric.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.cfg.Registry.WriteText(w)
+}
+
+// writeResult writes a processResult, marking cache outcome and — on 429 —
+// when to come back.
+func (s *Server) writeResult(w http.ResponseWriter, res processResult) {
+	w.Header().Set("Content-Type", "application/json")
+	if res.cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	if res.status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Timeout))
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+	if res.status == http.StatusOK {
+		_, _ = w.Write([]byte("\n"))
+	}
+}
+
+// retryAfterSeconds suggests retrying after roughly one translation
+// deadline — by then at least one queue slot must have turned over.
+func retryAfterSeconds(timeout time.Duration) string {
+	secs := int(timeout / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// writeError writes an ErrorResponse with the given status.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string, ds []diag.Diagnostic) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg, Diags: ds})
+}
+
+// readPNG decodes the request body as a PNG under the body-size cap.
+func (s *Server) readPNG(body io.ReadCloser, contentLength int64) (*imgproc.Gray, int, string) {
+	if contentLength > s.cfg.MaxBodyBytes {
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("body of %d bytes exceeds the %d-byte limit", contentLength, s.cfg.MaxBodyBytes)
+	}
+	return s.readPNGFrom(io.LimitReader(body, s.cfg.MaxBodyBytes+1))
+}
+
+// pngMagic is the 8-byte PNG signature.
+var pngMagic = [8]byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
+
+// readPNGFrom reads at most MaxBodyBytes+1 from r and decodes a PNG,
+// screening the IHDR dimensions before committing to a full decode so an
+// adversarial "small file, enormous raster" bomb is refused for the price
+// of a 24-byte header peek.
+func (s *Server) readPNGFrom(r io.Reader) (*imgproc.Gray, int, string) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, http.StatusBadRequest, "read body: " + err.Error()
+	}
+	if int64(len(data)) > s.cfg.MaxBodyBytes {
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("body exceeds the %d-byte limit", s.cfg.MaxBodyBytes)
+	}
+	if len(data) < 24 || [8]byte(data[:8]) != pngMagic {
+		return nil, http.StatusBadRequest, "body is not a PNG"
+	}
+	// IHDR is mandatory and first: width and height live at bytes 16-23.
+	width := int64(binary.BigEndian.Uint32(data[16:20]))
+	height := int64(binary.BigEndian.Uint32(data[20:24]))
+	if width <= 0 || height <= 0 || width*height > core.MaxPixels {
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("declared %dx%d raster exceeds the %d-pixel limit", width, height, core.MaxPixels)
+	}
+	img, err := imgproc.DecodePNG(bytes.NewReader(data))
+	if err != nil {
+		return nil, http.StatusBadRequest, "decode png: " + err.Error()
+	}
+	return img, 0, ""
+}
