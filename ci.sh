@@ -22,7 +22,11 @@
 #   8. serve smoke:   end to end over HTTP — train a tiny model, render a
 #                     .td fixture, start tdserve on a random port,
 #                     translate the picture twice (second reply must be a
-#                     byte-identical cache hit), scrape /metrics, then
+#                     byte-identical cache hit), scrape /metrics, check
+#                     /version and /debug/pprof/heap, translate once with
+#                     ?debug=1 and validate the inline span trace (valid
+#                     JSON, all four stage spans), run tdmagic -trace on
+#                     the same picture and validate that trace too, then
 #                     SIGTERM and assert a clean drain and exit 0
 set -eux
 
@@ -73,9 +77,40 @@ curl -fsS -D "$tmp/h2.txt" --data-binary @"$tmp/pic.png" -H 'Content-Type: image
 cmp "$tmp/r1.json" "$tmp/r2.json" # cache hit must be byte-identical
 grep -qi 'x-cache: hit' "$tmp/h2.txt"
 curl -fsS "http://$addr/healthz" | grep -q '"ok"'
-curl -fsS "http://$addr/metrics" >"$tmp/metrics.txt"
+curl -fsS -D "$tmp/mh.txt" "http://$addr/metrics" >"$tmp/metrics.txt"
+grep -qi 'content-type: text/plain; version=0.0.4; charset=utf-8' "$tmp/mh.txt"
 grep -q '^tdserve_cache_hits_total 1$' "$tmp/metrics.txt"
 grep -q '^tdmagic_translations_total 1$' "$tmp/metrics.txt"
+grep -q '^tdserve_cache_hit_ratio 0.5$' "$tmp/metrics.txt"
+
+# Observability surface: build identity, heap profile, inline debug trace.
+curl -fsS "http://$addr/version" | grep -q '"go_version"'
+curl -fsS "http://$addr/debug/pprof/heap" >"$tmp/heap.pprof"
+test -s "$tmp/heap.pprof"
+
+cat >"$tmp/check_trace.py" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+trace = doc.get("trace", doc)  # ?debug=1 nests the trace; tdmagic -trace is bare
+assert trace["request_id"], "trace has no request id"
+spans = trace["spans"]
+names = {s["name"] for s in spans}
+for stage in ("translate", "lad", "sed", "ocr", "sei"):
+    assert stage in names, f"missing {stage} span, have {sorted(names)}"
+for s in spans:
+    assert s["start_ns"] >= 0 and s["dur_ns"] >= 0, f"negative time in {s}"
+EOF
+
+curl -fsS --data-binary @"$tmp/pic.png" -H 'Content-Type: image/png' \
+	"http://$addr/v1/translate?debug=1" >"$tmp/debug.json"
+python3 "$tmp/check_trace.py" "$tmp/debug.json"
+# The debug run executed the stages a second time (it bypasses the cache).
+curl -fsS "http://$addr/metrics" | grep -q 'tdmagic_stage_seconds_count{stage="sei"} 2'
+
+# One-shot CLI trace over the same model and picture.
+go build -o "$tmp/tdmagic" ./cmd/tdmagic
+"$tmp/tdmagic" -model "$tmp/model.gob" -trace "$tmp/trace.json" "$tmp/pic.png" >/dev/null 2>&1
+python3 "$tmp/check_trace.py" "$tmp/trace.json"
 
 kill -TERM "$serve_pid"
 wait "$serve_pid" # non-zero exit (failed drain) fails the gate via set -e

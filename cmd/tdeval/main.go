@@ -25,6 +25,7 @@ import (
 	"tdmagic/internal/core"
 	"tdmagic/internal/eval"
 	"tdmagic/internal/metrics"
+	"tdmagic/internal/version"
 )
 
 func main() {
@@ -44,8 +45,14 @@ func main() {
 		cpuProf    = flag.String("cpuprofile", "", "write CPU profile to file")
 		memProf    = flag.String("memprofile", "", "write heap profile to file on exit")
 		showMetric = flag.Bool("metrics", false, "print the translation metric exposition (same counters tdserve exports) to stderr after the run")
+
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {

@@ -15,18 +15,24 @@ import (
 	"os"
 
 	"tdmagic/internal/tdgen"
+	"tdmagic/internal/version"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tdgen: ")
 	var (
-		out  = flag.String("out", "", "output directory (required)")
-		mode = flag.String("mode", "G1", "generation mode: G1, G2 or G3")
-		n    = flag.Int("n", 100, "number of diagrams")
-		seed = flag.Int64("seed", 1, "random seed")
+		out         = flag.String("out", "", "output directory (required)")
+		mode        = flag.String("mode", "G1", "generation mode: G1, G2 or G3")
+		n           = flag.Int("n", 100, "number of diagrams")
+		seed        = flag.Int64("seed", 1, "random seed")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)

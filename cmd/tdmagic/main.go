@@ -10,6 +10,9 @@
 //	tdmagic -model model.gob -report diagram.png      # detection details
 //	tdmagic -model model.gob -overlay o.png diagram.png  # annotated picture
 //	tdmagic -model model.gob -strict diagram.png      # fail on degraded inputs
+//	tdmagic -model model.gob -trace t.json diagram.png   # per-stage span trace
+//	tdmagic -model model.gob -chrome-trace t.json diagram.png  # chrome://tracing
+//	tdmagic -version                                  # build identity
 //
 // By default degraded inputs (low contrast, noise, cyclic interpretations)
 // still produce a best-effort partial specification; the degradations the
@@ -20,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"image/png"
@@ -29,22 +33,31 @@ import (
 	"tdmagic/internal/core"
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/ltl"
+	"tdmagic/internal/obs"
 	"tdmagic/internal/sva"
+	"tdmagic/internal/version"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tdmagic: ")
 	var (
-		model   = flag.String("model", "", "trained model file from tdtrain (required)")
-		dot     = flag.Bool("dot", false, "emit the SPO as a Graphviz digraph")
-		asLTL   = flag.Bool("ltl", false, "emit a temporal-logic formula")
-		asSVA   = flag.Bool("sva", false, "emit SystemVerilog assertions")
-		report  = flag.Bool("report", false, "also print detection details")
-		overlay = flag.String("overlay", "", "write the annotated picture (paper Fig. 6/7 style) to this PNG")
-		strict  = flag.Bool("strict", false, "fail (exit 1) on degraded inputs instead of emitting a best-effort partial specification")
+		model       = flag.String("model", "", "trained model file from tdtrain (required)")
+		dot         = flag.Bool("dot", false, "emit the SPO as a Graphviz digraph")
+		asLTL       = flag.Bool("ltl", false, "emit a temporal-logic formula")
+		asSVA       = flag.Bool("sva", false, "emit SystemVerilog assertions")
+		report      = flag.Bool("report", false, "also print detection details")
+		overlay     = flag.String("overlay", "", "write the annotated picture (paper Fig. 6/7 style) to this PNG")
+		strict      = flag.Bool("strict", false, "fail (exit 1) on degraded inputs instead of emitting a best-effort partial specification")
+		traceOut    = flag.String("trace", "", "write the translation's span trace (per-stage timings and detector counts) to this JSON file")
+		chromeOut   = flag.String("chrome-trace", "", "write the span trace in Chrome trace_event format (open in chrome://tracing) to this JSON file")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
 	if *model == "" || flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
@@ -63,7 +76,14 @@ func main() {
 		log.Fatal(err)
 	}
 	pipe.Strict = *strict
-	spec, rep, err := pipe.Translate(img)
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceOut != "" || *chromeOut != "" {
+		tr = obs.NewTrace(obs.NewRequestID())
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	spec, rep, err := pipe.TranslateContext(ctx, img)
+	writeTraces(tr, *traceOut, *chromeOut)
 	if err != nil {
 		if rep != nil {
 			printDiags(rep)
@@ -105,6 +125,34 @@ func main() {
 	}
 	if *report {
 		printReport(rep)
+	}
+}
+
+// writeTraces persists the recorded span trace in the requested formats.
+// Writing happens even when the translation failed — a trace of a failing
+// run is exactly what one wants to look at.
+func writeTraces(tr *obs.Trace, plain, chrome string) {
+	if tr == nil {
+		return
+	}
+	write := func(path string, emit func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := emit(f); err != nil {
+			log.Fatalf("write trace %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tdmagic: wrote trace %s\n", path)
+	}
+	if plain != "" {
+		write(plain, func(f *os.File) error { return tr.WriteJSON(f) })
+	}
+	if chrome != "" {
+		write(chrome, func(f *os.File) error { return tr.WriteChrome(f) })
 	}
 }
 

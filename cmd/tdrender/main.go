@@ -18,17 +18,23 @@ import (
 	"os"
 
 	"tdmagic/internal/tdl"
+	"tdmagic/internal/version"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tdrender: ")
 	var (
-		in   = flag.String("in", "", ".td description file (required)")
-		out  = flag.String("out", "", "output PNG file (required)")
-		spec = flag.Bool("spec", true, "print the diagram's ground-truth SPO")
+		in          = flag.String("in", "", ".td description file (required)")
+		out         = flag.String("out", "", "output PNG file (required)")
+		spec        = flag.Bool("spec", true, "print the diagram's ground-truth SPO")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
 	if *in == "" || *out == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -11,7 +11,13 @@
 //	POST /v1/translate        one PNG body -> SPO JSON + diagnostics
 //	POST /v1/translate/batch  multipart/form-data PNG parts -> JSON array
 //	GET  /healthz             liveness probe
-//	GET  /metrics             Prometheus-style text metrics
+//	GET  /metrics             Prometheus text metrics
+//	GET  /version             build identity
+//	GET  /debug/pprof/*       runtime profiles
+//
+// Every request is tagged with an X-Request-ID (the client's, if sent) and
+// logged as one structured JSON line on stderr; POST /v1/translate?debug=1
+// returns the translation's per-stage span trace inline.
 //
 // The service runs a bounded worker pool: -workers translations execute
 // concurrently, -queue more may wait, and anything beyond that is shed
@@ -34,23 +40,31 @@ import (
 	"time"
 
 	"tdmagic/internal/core"
+	"tdmagic/internal/obs"
 	"tdmagic/internal/serve"
+	"tdmagic/internal/version"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tdserve: ")
 	var (
-		model   = flag.String("model", "", "trained model file from tdtrain (required)")
-		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers = flag.Int("workers", 0, "concurrent translations (0 = GOMAXPROCS, capped at 8)")
-		queue   = flag.Int("queue", 0, "requests allowed to wait for a worker before 429 (0 = 4x workers)")
-		cache   = flag.Int("cache", 256, "result-cache entries keyed by picture content (-1 disables)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request translation deadline")
-		maxBody = flag.Int64("max-body", 32<<20, "largest accepted PNG body in bytes")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		model       = flag.String("model", "", "trained model file from tdtrain (required)")
+		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers     = flag.Int("workers", 0, "concurrent translations (0 = GOMAXPROCS, capped at 8)")
+		queue       = flag.Int("queue", 0, "requests allowed to wait for a worker before 429 (0 = 4x workers)")
+		cache       = flag.Int("cache", 256, "result-cache entries keyed by picture content (-1 disables)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request translation deadline")
+		maxBody     = flag.Int64("max-body", 32<<20, "largest accepted PNG body in bytes")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
 	if *model == "" || flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -60,13 +74,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := serve.New(pipe, serve.Config{
+	cfg := serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheSize:    *cache,
 		Timeout:      *timeout,
 		MaxBodyBytes: *maxBody,
-	})
+	}
+	if !*quiet {
+		cfg.Logger = obs.NewLogger(os.Stderr, nil)
+	}
+	srv := serve.New(pipe, cfg)
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		log.Fatal(err)

@@ -19,6 +19,7 @@ import (
 
 	"tdmagic/internal/core"
 	"tdmagic/internal/eval"
+	"tdmagic/internal/version"
 )
 
 func main() {
@@ -34,8 +35,14 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for generation and training (results are worker-count invariant)")
 		cpuProf = flag.String("cpuprofile", "", "write CPU profile to file")
 		memProf = flag.String("memprofile", "", "write heap profile to file on exit")
+
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.Get())
+		return
+	}
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)

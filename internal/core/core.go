@@ -16,6 +16,7 @@ import (
 	"tdmagic/internal/geom"
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/lad"
+	"tdmagic/internal/obs"
 	"tdmagic/internal/ocr"
 	"tdmagic/internal/parallel"
 	"tdmagic/internal/sed"
@@ -195,20 +196,43 @@ func (p *Pipeline) TranslateContext(ctx context.Context, img *imgproc.Gray) (out
 	return p.translateContext(ctx, img)
 }
 
-// translateContext is TranslateContext without the metrics wrapper.
+// translateContext is TranslateContext without the metrics wrapper. When
+// ctx carries an obs trace (or span) it records a "translate" root span
+// with the four stage spans nested under it; with no trace attached the
+// instrumentation is allocation-free (sp stays nil and every obs call
+// no-ops). The explicit `if sp != nil` blocks — rather than deferred
+// closures — are what keep the disabled path at zero allocations.
 func (p *Pipeline) translateContext(ctx context.Context, img *imgproc.Gray) (*spo.SPO, *Report, error) {
+	sp := obs.StartSpan(ctx, "translate")
 	if ds := validateInput(img); ds != nil {
+		if sp != nil {
+			sp.Bool("refused", true).Int("diags", int64(len(ds)))
+			sp.End()
+		}
 		rep := &Report{Diags: ds}
 		if p.Strict {
 			return nil, rep, fmt.Errorf("core: %s", ds[0].Message)
 		}
 		return &spo.SPO{}, rep, nil
 	}
+	if sp != nil {
+		sp.Int("width", int64(img.W)).Int("height", int64(img.H))
+		ctx = obs.ContextWithSpan(ctx, sp)
+	}
 	rep, err := p.analyzeStagesCtx(ctx, img, true)
 	if err != nil {
+		if sp != nil {
+			sp.Bool("error", true)
+			sp.End()
+		}
 		return nil, rep, err
 	}
-	return p.interpret(img, rep, rep.Edges)
+	out, rep, err := p.interpret(ctx, img, rep, rep.Edges)
+	if sp != nil {
+		sp.Int("diags", int64(len(rep.Diags))).Bool("error", err != nil)
+		sp.End()
+	}
+	return out, rep, err
 }
 
 // TranslateWithEdges runs LAD + OCR + SEI with externally supplied edge
@@ -228,12 +252,14 @@ func (p *Pipeline) TranslateWithEdges(img *imgproc.Gray, edges []sed.Detection) 
 		return nil, rep, err
 	}
 	rep.Edges = edges
-	return p.interpret(img, rep, edges)
+	return p.interpret(context.Background(), img, rep, edges)
 }
 
 // interpret runs SEI over a perception report and threads the semantic
 // diagnostics onto it.
-func (p *Pipeline) interpret(img *imgproc.Gray, rep *Report, edges []sed.Detection) (*spo.SPO, *Report, error) {
+func (p *Pipeline) interpret(ctx context.Context, img *imgproc.Gray, rep *Report, edges []sed.Detection) (*spo.SPO, *Report, error) {
+	sp := obs.StartSpan(ctx, "sei")
+	t0 := time.Now()
 	cfg := p.SEICfg
 	cfg.Strict = p.Strict
 	out, err := sei.Interpret(sei.Input{
@@ -243,8 +269,22 @@ func (p *Pipeline) interpret(img *imgproc.Gray, rep *Report, edges []sed.Detecti
 		Lines:  rep.Lines,
 		Texts:  rep.Texts,
 	}, cfg)
+	if p.Metrics != nil {
+		p.Metrics.StageSEI.Observe(time.Since(t0).Seconds())
+	}
 	if err != nil {
+		if sp != nil {
+			sp.Bool("error", true)
+			sp.End()
+		}
 		return nil, rep, err
+	}
+	if sp != nil {
+		sp.Int("events", int64(len(out.Events))).
+			Int("nodes", int64(len(out.SPO.Nodes))).
+			Int("constraints", int64(len(out.SPO.Constraints))).
+			Int("diags", int64(len(out.Diags)))
+		sp.End()
 	}
 	rep.SEI = out
 	rep.Diags = append(rep.Diags, out.Diags...)
@@ -272,9 +312,22 @@ func (p *Pipeline) Analyze(img *imgproc.Gray) *Report {
 // Every stage checks ctx cooperatively; the first stage error (only ever
 // a context error) aborts the translation.
 func (p *Pipeline) analyzeStagesCtx(ctx context.Context, img *imgproc.Gray, runSED bool) (*Report, error) {
+	spLAD := obs.StartSpan(ctx, "lad")
+	t0 := time.Now()
 	lines, err := lad.DetectCtx(ctx, img, p.LADCfg)
+	if p.Metrics != nil {
+		p.Metrics.StageLAD.Observe(time.Since(t0).Seconds())
+	}
 	if err != nil {
+		if spLAD != nil {
+			spLAD.Bool("error", true)
+			spLAD.End()
+		}
 		return &Report{}, err
+	}
+	if spLAD != nil {
+		spLAD.Int("v_contours", int64(len(lines.V))).Int("h_contours", int64(len(lines.H)))
+		spLAD.End()
 	}
 	rep := &Report{Lines: lines}
 	if frac := float64(lines.BW.Count()) / float64(img.W*img.H); frac > 0.5 {
@@ -289,11 +342,31 @@ func (p *Pipeline) analyzeStagesCtx(ctx context.Context, img *imgproc.Gray, runS
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// SED runs concurrently with OCR; its span is a sibling of
+			// OCR's under the same parent, recorded goroutine-safely.
+			sp := obs.StartSpan(ctx, "sed")
+			t0 := time.Now()
 			edges, sedErr = p.SED.DetectCtx(ctx, img, lines)
+			if p.Metrics != nil {
+				p.Metrics.StageSED.Observe(time.Since(t0).Seconds())
+			}
+			if sp != nil {
+				sp.Int("edge_boxes", int64(len(edges))).Bool("error", sedErr != nil)
+				sp.End()
+			}
 		}()
 	}
 	if p.OCR != nil {
+		sp := obs.StartSpan(ctx, "ocr")
+		t0 := time.Now()
 		texts, ocrErr := p.OCR.ReadAllCtx(ctx, lines.BW, lines, p.OCRCfg)
+		if p.Metrics != nil {
+			p.Metrics.StageOCR.Observe(time.Since(t0).Seconds())
+		}
+		if sp != nil {
+			sp.Int("text_boxes", int64(len(texts))).Bool("error", ocrErr != nil)
+			sp.End()
+		}
 		if ocrErr != nil {
 			if runSED {
 				wg.Wait()

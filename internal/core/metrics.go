@@ -35,6 +35,14 @@ type PipelineMetrics struct {
 	Diagnostics *metrics.Counter
 	// Latency is the wall-clock distribution of TranslateContext calls.
 	Latency *metrics.Histogram
+	// StageLAD/StageSED/StageOCR/StageSEI are the per-stage wall-clock
+	// distributions, exposed as one tdmagic_stage_seconds histogram vector
+	// labelled stage="lad"|"sed"|"ocr"|"sei". SED and OCR overlap, so their
+	// sums can exceed tdmagic_translate_seconds.
+	StageLAD *metrics.Histogram
+	StageSED *metrics.Histogram
+	StageOCR *metrics.Histogram
+	StageSEI *metrics.Histogram
 }
 
 // NewPipelineMetrics registers the translation metric bundle on reg under
@@ -47,7 +55,17 @@ func NewPipelineMetrics(reg *metrics.Registry) *PipelineMetrics {
 		Panics:       reg.Counter("tdmagic_translate_panics_total", "batch items recovered from a panic"),
 		Diagnostics:  reg.Counter("tdmagic_translate_diags_total", "degradation diagnostics emitted"),
 		Latency:      reg.Histogram("tdmagic_translate_seconds", "translation wall-clock latency", nil),
+		StageLAD:     stageHistogram(reg, "lad"),
+		StageSED:     stageHistogram(reg, "sed"),
+		StageOCR:     stageHistogram(reg, "ocr"),
+		StageSEI:     stageHistogram(reg, "sei"),
 	}
+}
+
+// stageHistogram registers one series of the tdmagic_stage_seconds vector.
+func stageHistogram(reg *metrics.Registry, stage string) *metrics.Histogram {
+	return reg.LabeledHistogram("tdmagic_stage_seconds", `stage="`+stage+`"`,
+		"per-stage wall-clock latency", nil)
 }
 
 // observe records one finished translation.

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"tdmagic/internal/geom"
+	"tdmagic/internal/spo"
+)
+
+// NodeEvidence is one SPO node's provenance resolved to pixel rectangles:
+// the regions of the input picture that produced the node. Nil fields mean
+// the corresponding evidence was absent (a step edge has no threshold
+// line; a synthesized S<n> signal name has no name text).
+type NodeEvidence struct {
+	EdgeBox       *geom.Rect `json:"edge_box,omitempty"`
+	VLine         *geom.Rect `json:"vline,omitempty"`
+	HLine         *geom.Rect `json:"hline,omitempty"`
+	NameText      *geom.Rect `json:"name_text,omitempty"`
+	ThresholdText *geom.Rect `json:"threshold_text,omitempty"`
+}
+
+// ConstraintEvidence is one SPO constraint's provenance resolved to pixel
+// rectangles: the two anchoring vertical lines, the arrow shaft contours,
+// and the timing-parameter text.
+type ConstraintEvidence struct {
+	SrcVLine  *geom.Rect  `json:"src_vline,omitempty"`
+	DstVLine  *geom.Rect  `json:"dst_vline,omitempty"`
+	Shaft     []geom.Rect `json:"shaft,omitempty"`
+	LabelText *geom.Rect  `json:"label_text,omitempty"`
+}
+
+// ResolveProvenance maps the provenance indices an SPO carries back to the
+// pixel rectangles of the perception report that produced it. It is the
+// inverse direction of the pipeline: given a node or constraint in the
+// formal specification, it answers "which detected boxes and contours is
+// this claim based on?". An index outside the report's detector output is
+// an internal-consistency error, never silently skipped — the provenance
+// contract is that every non-negative ID resolves.
+func ResolveProvenance(rep *Report, p *spo.SPO) ([]NodeEvidence, []ConstraintEvidence, error) {
+	if rep == nil || p == nil {
+		return nil, nil, fmt.Errorf("core: resolve provenance: nil report or SPO")
+	}
+	if len(p.NodeProv) != len(p.Nodes) {
+		return nil, nil, fmt.Errorf("core: resolve provenance: %d nodes but %d provenance entries",
+			len(p.Nodes), len(p.NodeProv))
+	}
+	if len(p.ConstraintProv) != len(p.Constraints) {
+		return nil, nil, fmt.Errorf("core: resolve provenance: %d constraints but %d provenance entries",
+			len(p.Constraints), len(p.ConstraintProv))
+	}
+	vline := func(i int) (*geom.Rect, error) {
+		if i < 0 {
+			return nil, nil
+		}
+		if rep.Lines == nil || i >= len(rep.Lines.V) {
+			return nil, fmt.Errorf("vline index %d out of range", i)
+		}
+		r := rep.Lines.V[i].Seg.Rect()
+		return &r, nil
+	}
+	hline := func(i int) (*geom.Rect, error) {
+		if i < 0 {
+			return nil, nil
+		}
+		if rep.Lines == nil || i >= len(rep.Lines.H) {
+			return nil, fmt.Errorf("hline index %d out of range", i)
+		}
+		r := rep.Lines.H[i].Seg.Rect()
+		return &r, nil
+	}
+	text := func(i int) (*geom.Rect, error) {
+		if i < 0 {
+			return nil, nil
+		}
+		if i >= len(rep.Texts) {
+			return nil, fmt.Errorf("text index %d out of range", i)
+		}
+		r := rep.Texts[i].Box
+		return &r, nil
+	}
+
+	nodes := make([]NodeEvidence, len(p.NodeProv))
+	for ni, np := range p.NodeProv {
+		var ev NodeEvidence
+		var err error
+		if np.EdgeBox >= 0 {
+			if np.EdgeBox >= len(rep.Edges) {
+				return nil, nil, fmt.Errorf("core: node %d: edge box index %d out of range", ni, np.EdgeBox)
+			}
+			r := rep.Edges[np.EdgeBox].Box
+			ev.EdgeBox = &r
+		}
+		if ev.VLine, err = vline(np.VLine); err == nil {
+			if ev.HLine, err = hline(np.HLine); err == nil {
+				if ev.NameText, err = text(np.NameText); err == nil {
+					ev.ThresholdText, err = text(np.ThresholdText)
+				}
+			}
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: node %d: %w", ni, err)
+		}
+		nodes[ni] = ev
+	}
+
+	cons := make([]ConstraintEvidence, len(p.ConstraintProv))
+	for ci, cp := range p.ConstraintProv {
+		var ev ConstraintEvidence
+		var err error
+		if ev.SrcVLine, err = vline(cp.SrcVLine); err == nil {
+			if ev.DstVLine, err = vline(cp.DstVLine); err == nil {
+				ev.LabelText, err = text(cp.LabelText)
+			}
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: constraint %d: %w", ci, err)
+		}
+		for _, hi := range cp.HLines {
+			r, err := hline(hi)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: constraint %d: %w", ci, err)
+			}
+			if r != nil {
+				ev.Shaft = append(ev.Shaft, *r)
+			}
+		}
+		cons[ci] = ev
+	}
+	return nodes, cons, nil
+}

@@ -108,12 +108,16 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
-// metric is one registered name.
+// metric is one registered series: a name, an optional constant label
+// set (rendered inside the braces of every exposed sample), and exactly
+// one collector.
 type metric struct {
 	name, help string
+	labels     string // e.g. `stage="lad"`; "" for unlabelled series
 	counter    *Counter
 	gauge      *Gauge
 	hist       *Histogram
+	fn         func() float64 // computed-at-scrape gauge
 }
 
 // Registry holds named metrics and renders them as text. Registration
@@ -169,51 +173,119 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// LabeledHistogram registers (or returns the existing) histogram under
+// name with a constant label set, e.g.
+//
+//	r.LabeledHistogram("tdmagic_stage_seconds", `stage="lad"`, "…", nil)
+//
+// Several label sets may share one name; the exposition emits the HELP
+// and TYPE header once per name and renders the labels inside every
+// sample's braces, merged with the histogram's own le label — the
+// Prometheus convention for a histogram vector.
+func (r *Registry) LabeledHistogram(name, labels, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + "{" + labels + "}"
+	if i, ok := r.byName[key]; ok {
+		return r.metrics[i].hist
+	}
+	h := newHistogram(bounds)
+	r.byName[key] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, labels: labels, help: help, hist: h})
+	return h
+}
+
+// GaugeFunc registers a gauge whose float value is computed at scrape
+// time — the natural shape for derived series like a cache hit ratio,
+// which would drift if maintained as a stored value next to the
+// counters it is computed from.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; ok {
+		return
+	}
+	r.byName[name] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, help: help, fn: fn})
+}
+
+// series renders a sample name with the metric's constant labels and an
+// optional extra label (the histogram le), e.g.
+// `tdmagic_stage_seconds_bucket{stage="lad",le="0.005"}`.
+func series(name, suffix, labels, extra string) string {
+	full := name + suffix
+	switch {
+	case labels == "" && extra == "":
+		return full
+	case labels == "":
+		return full + "{" + extra + "}"
+	case extra == "":
+		return full + "{" + labels + "}"
+	default:
+		return full + "{" + labels + "," + extra + "}"
+	}
+}
+
 // WriteText renders every registered metric in the Prometheus text format,
-// in registration order.
+// in registration order. Labelled series sharing one name get a single
+// HELP/TYPE header, emitted at the first series' position.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	ms := append([]metric(nil), r.metrics...)
 	r.mu.Unlock()
+	headed := make(map[string]bool, len(ms))
 	for _, m := range ms {
-		if m.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+		if !headed[m.name] {
+			headed[m.name] = true
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			kind := "counter"
+			switch {
+			case m.gauge != nil || m.fn != nil:
+				kind = "gauge"
+			case m.hist != nil:
+				kind = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, kind); err != nil {
 				return err
 			}
 		}
+		var err error
 		switch {
 		case m.counter != nil:
-			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m.name, m.name, m.counter.Value()); err != nil {
-				return err
-			}
+			_, err = fmt.Fprintf(w, "%s %d\n", series(m.name, "", m.labels, ""), m.counter.Value())
 		case m.gauge != nil:
-			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m.name, m.name, m.gauge.Value()); err != nil {
-				return err
-			}
+			_, err = fmt.Fprintf(w, "%s %d\n", series(m.name, "", m.labels, ""), m.gauge.Value())
+		case m.fn != nil:
+			_, err = fmt.Fprintf(w, "%s %g\n", series(m.name, "", m.labels, ""), m.fn())
 		case m.hist != nil:
-			if err := writeHistogram(w, m.name, m.hist); err != nil {
-				return err
-			}
+			err = writeHistogram(w, m.name, m.labels, m.hist)
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
 // writeHistogram renders the cumulative _bucket/_sum/_count series.
-func writeHistogram(w io.Writer, name string, h *Histogram) error {
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-		return err
-	}
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
 	var cum int64
 	for i, ub := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(ub), cum); err != nil {
+		le := fmt.Sprintf("le=%q", formatBound(ub))
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(name, "_bucket", labels, le), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
-		name, cum, name, h.Sum(), name, cum)
+	_, err := fmt.Fprintf(w, "%s %d\n%s %g\n%s %d\n",
+		series(name, "_bucket", labels, `le="+Inf"`), cum,
+		series(name, "_sum", labels, ""), h.Sum(),
+		series(name, "_count", labels, ""), cum)
 	return err
 }
 

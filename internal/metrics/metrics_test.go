@@ -114,6 +114,76 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 }
 
+func TestLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	lad := r.LabeledHistogram("stage_seconds", `stage="lad"`, "per-stage latency", []float64{0.01, 0.1})
+	sed := r.LabeledHistogram("stage_seconds", `stage="sed"`, "per-stage latency", []float64{0.01, 0.1})
+	if lad == sed {
+		t.Fatal("distinct label sets shared one histogram")
+	}
+	if r.LabeledHistogram("stage_seconds", `stage="lad"`, "", nil) != lad {
+		t.Error("re-registration returned a different histogram")
+	}
+	lad.Observe(0.005)
+	lad.Observe(0.05)
+	sed.Observe(0.2)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`stage_seconds_bucket{stage="lad",le="0.01"} 1`,
+		`stage_seconds_bucket{stage="lad",le="+Inf"} 2`,
+		`stage_seconds_sum{stage="lad"} 0.055`,
+		`stage_seconds_count{stage="lad"} 2`,
+		`stage_seconds_bucket{stage="sed",le="0.1"} 0`,
+		`stage_seconds_count{stage="sed"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One header per name, not per label set.
+	if got := strings.Count(out, "# TYPE stage_seconds histogram"); got != 1 {
+		t.Errorf("got %d TYPE headers, want 1:\n%s", got, out)
+	}
+	if got := strings.Count(out, "# HELP stage_seconds"); got != 1 {
+		t.Errorf("got %d HELP headers, want 1:\n%s", got, out)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	hits := r.Counter("hits_total", "")
+	misses := r.Counter("misses_total", "")
+	r.GaugeFunc("hit_ratio", "hit fraction", func() float64 {
+		h, m := hits.Value(), misses.Value()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+	scrape := func() string {
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if out := scrape(); !strings.Contains(out, "hit_ratio 0\n") {
+		t.Errorf("empty ratio exposition wrong:\n%s", out)
+	}
+	hits.Inc()
+	misses.Add(3)
+	if out := scrape(); !strings.Contains(out, "hit_ratio 0.25\n") {
+		t.Errorf("ratio not recomputed at scrape:\n%s", out)
+	}
+	if out := scrape(); !strings.Contains(out, "# TYPE hit_ratio gauge") {
+		t.Errorf("gauge func missing TYPE line:\n%s", out)
+	}
+}
+
 func TestHelpLine(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("x_total", "the x")

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SpanExport is the serialised form of one finished span. Times are
+// nanosecond offsets/durations so the export is integer-exact and
+// round-trips losslessly.
+type SpanExport struct {
+	ID      uint64 `json:"id"`
+	Parent  uint64 `json:"parent,omitempty"`
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// Export is the plain-JSON form of a trace: the request ID plus every
+// finished span, ordered by start offset (ID as tie-break) so the
+// encoding is deterministic for a deterministic execution.
+type Export struct {
+	RequestID string       `json:"request_id"`
+	Spans     []SpanExport `json:"spans"`
+}
+
+// Export snapshots the trace's finished spans. Nil-safe: a nil trace
+// exports nil.
+func (t *Trace) Export() *Export {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]SpanExport, len(t.spans))
+	for i, s := range t.spans {
+		spans[i] = SpanExport{
+			ID:      s.ID,
+			Parent:  s.Parent,
+			Name:    s.Name,
+			StartNS: s.Start.Nanoseconds(),
+			DurNS:   s.Dur.Nanoseconds(),
+			Attrs:   append([]Attr(nil), s.Attrs...),
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartNS != spans[j].StartNS {
+			return spans[i].StartNS < spans[j].StartNS
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return &Export{RequestID: t.requestID, Spans: spans}
+}
+
+// WriteJSON writes the plain JSON export (the `tdmagic -trace` format).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	e := t.Export()
+	if e == nil {
+		return fmt.Errorf("obs: nil trace has no export")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// ParseExport decodes a plain JSON export, validating that it is
+// structurally a trace (request ID present, every span named). It is
+// the inverse of WriteJSON/Export, used by tests and trace-consuming
+// tools.
+func ParseExport(data []byte) (*Export, error) {
+	var e Export
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("obs: parse export: %w", err)
+	}
+	for i, s := range e.Spans {
+		if s.Name == "" {
+			return nil, fmt.Errorf("obs: parse export: span %d has no name", i)
+		}
+		if s.DurNS < 0 || s.StartNS < 0 {
+			return nil, fmt.Errorf("obs: parse export: span %q has negative time", s.Name)
+		}
+	}
+	return &e, nil
+}
+
+// Span returns the first exported span with the given name, or nil.
+func (e *Export) Span(name string) *SpanExport {
+	for i := range e.Spans {
+		if e.Spans[i].Name == name {
+			return &e.Spans[i]
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome
+// trace_event format, loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`  // microseconds
+	Dur  float64          `json:"dur"` // microseconds
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChrome writes the trace in Chrome trace_event JSON. Spans become
+// complete events; concurrent stages (SED ∥ OCR) are placed on separate
+// tracks (tid) so their overlap is visible instead of mis-nested.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	e := t.Export()
+	if e == nil {
+		return fmt.Errorf("obs: nil trace has no export")
+	}
+	// Track assignment: nested spans stay on their ancestor's track (the
+	// viewer renders containment as depth), while spans that overlap a
+	// non-ancestor — the genuinely concurrent stages, SED ∥ OCR — move to
+	// the first track where they conflict with nothing. Traces are tiny
+	// (tens of spans), so the quadratic scan is irrelevant.
+	parentOf := make(map[uint64]uint64, len(e.Spans))
+	for _, s := range e.Spans {
+		parentOf[s.ID] = s.Parent
+	}
+	isAncestor := func(anc, id uint64) bool {
+		for id != 0 {
+			p := parentOf[id]
+			if p == anc {
+				return true
+			}
+			id = p
+		}
+		return false
+	}
+	type placed struct {
+		id         uint64
+		start, end int64
+	}
+	tracks := [][]placed{}
+	events := make([]chromeEvent, 0, len(e.Spans))
+	for _, s := range e.Spans {
+		end := s.StartNS + s.DurNS
+		tid := -1
+		for i, tr := range tracks {
+			ok := true
+			for _, p := range tr {
+				overlaps := s.StartNS < p.end && p.start < end
+				if overlaps && !isAncestor(p.id, s.ID) && !isAncestor(s.ID, p.id) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(tracks)
+			tracks = append(tracks, nil)
+		}
+		tracks[tid] = append(tracks[tid], placed{id: s.ID, start: s.StartNS, end: end})
+		var args map[string]int64
+		if len(s.Attrs) > 0 {
+			args = make(map[string]int64, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Val
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			TS:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			PID:  1,
+			TID:  tid + 1,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"})
+}

@@ -1,0 +1,243 @@
+// Package obs is the pipeline's observability layer: a dependency-free
+// span tracer plus a structured (log/slog) logger, shared by the tdmagic
+// one-shot CLI and the tdserve HTTP service.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when disabled. Tracing is opt-in per translation; a
+//     request without a trace must not allocate or lock anything on the
+//     hot path. Every method is nil-safe — StartSpan on a context without
+//     a trace returns a nil *Span, and attribute/End calls on a nil span
+//     are no-ops — so the pipeline code is written unconditionally and
+//     the disabled path compiles down to a context lookup and a nil
+//     check. TestNilTraceZeroAlloc pins this with testing.AllocsPerRun.
+//
+//  2. Deterministic identity. Span IDs are derived from the
+//     per-translation request ID plus the span name and its occurrence
+//     number, not from a global counter or the clock, so the same
+//     request ID over the same picture yields the same span IDs — traces
+//     diff cleanly across runs and machines.
+//
+//  3. Goroutine safety. The perception stages record spans from
+//     concurrent goroutines (SED and OCR overlap); collection is a
+//     mutex-protected append on the owning Trace.
+//
+// Durations come from the monotonic clock (time.Since), so a span can
+// never be negative or jump under wall-clock adjustment. Span start
+// times are stored as offsets from the trace epoch, which makes the
+// exported JSON self-contained and comparable.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute. Attributes are integer-valued by design
+// (counts, sizes, 0/1 flags): every quantity the pipeline records is a
+// count, and a fixed value type keeps the export byte-stable and the
+// round-trip lossless.
+type Attr struct {
+	Key string `json:"key"`
+	Val int64  `json:"val"`
+}
+
+// Span is one timed operation inside a trace. Fields are exported for
+// inspection after collection; mutate spans only through Int/Bool/End.
+type Span struct {
+	ID     uint64        // deterministic, derived from the request ID
+	Parent uint64        // 0 for a root span
+	Name   string        // stage or operation name ("lad", "translate", ...)
+	Start  time.Duration // offset from the trace epoch (monotonic)
+	Dur    time.Duration // set by End
+	Attrs  []Attr
+
+	tr    *Trace
+	began time.Time
+}
+
+// Trace collects the spans of one translation request. Create one per
+// request with NewTrace; a nil *Trace is a valid "tracing disabled"
+// value on which every method no-ops.
+type Trace struct {
+	requestID string
+	base      uint64 // fnv64a(requestID), the ID derivation root
+	epoch     time.Time
+
+	mu    sync.Mutex
+	seq   map[string]uint64 // per-name occurrence counters
+	spans []*Span           // finished spans, in End order
+}
+
+// NewTrace starts an empty trace for one request. The request ID seeds
+// the deterministic span-ID derivation; use NewRequestID for serving
+// traffic or any stable string (e.g. the input file path) for
+// reproducible CLI traces.
+func NewTrace(requestID string) *Trace {
+	return &Trace{
+		requestID: requestID,
+		base:      fnv64a(requestID),
+		epoch:     time.Now(),
+		seq:       make(map[string]uint64),
+	}
+}
+
+// RequestID returns the ID the trace was created with ("" on nil).
+func (t *Trace) RequestID() string {
+	if t == nil {
+		return ""
+	}
+	return t.requestID
+}
+
+// fnv64a is the FNV-1a hash, inlined so obs stays dependency-free and
+// allocation-free.
+func fnv64a(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// spanID derives a deterministic nonzero span ID from the trace base,
+// the span name and its occurrence number. Concurrent spans carry
+// different names (or different occurrence numbers), so the derivation
+// is stable under any goroutine interleaving.
+func spanID(base uint64, name string, occurrence uint64) uint64 {
+	const prime64 = 1099511628211
+	h := base
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= occurrence
+	h *= prime64
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// newSpan starts a span under the given parent ID.
+func (t *Trace) newSpan(parent uint64, name string) *Span {
+	now := time.Now()
+	t.mu.Lock()
+	n := t.seq[name]
+	t.seq[name] = n + 1
+	t.mu.Unlock()
+	return &Span{
+		ID:     spanID(t.base, name, n),
+		Parent: parent,
+		Name:   name,
+		Start:  now.Sub(t.epoch),
+		tr:     t,
+		began:  now,
+	}
+}
+
+// Start begins a root-level span. Nil-safe: a nil trace returns a nil
+// span.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(0, name)
+}
+
+// StartChild begins a child span of s. Nil-safe.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(s.ID, name)
+}
+
+// Int records an integer attribute and returns the span for chaining.
+// Nil-safe.
+func (s *Span) Int(key string, v int64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: v})
+	return s
+}
+
+// Bool records a 0/1 attribute. Nil-safe.
+func (s *Span) Bool(key string, v bool) *Span {
+	var n int64
+	if v {
+		n = 1
+	}
+	return s.Int(key, n)
+}
+
+// End stamps the span's duration from the monotonic clock and hands it
+// to the trace. A span must be ended exactly once; spans never ended do
+// not appear in the export. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Dur = time.Since(s.began)
+	t := s.tr
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// ctxKey carries either a *Span (the current parent) or a *Trace (a
+// trace with no open parent yet) through a context. A zero-size key
+// keeps the disabled-path Value lookup allocation-free.
+type ctxKey struct{}
+
+// ContextWithTrace returns ctx carrying t, so the next StartSpan opens
+// a root span of t. A nil trace returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// ContextWithSpan returns ctx carrying s as the current parent span. A
+// nil span returns ctx unchanged, so callers can thread contexts
+// unconditionally.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// StartSpan begins a span under whatever the context carries: a child
+// of the current span, a root span of the current trace, or nil when
+// the context carries neither (tracing disabled). This is the one call
+// the pipeline stages make.
+func StartSpan(ctx context.Context, name string) *Span {
+	switch v := ctx.Value(ctxKey{}).(type) {
+	case *Span:
+		return v.StartChild(name)
+	case *Trace:
+		return v.Start(name)
+	}
+	return nil
+}
+
+// NewRequestID returns a fresh 16-hex-character request ID from
+// crypto/rand, for correlating serving traffic across logs, headers and
+// traces.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; degrade to a
+		// fixed ID rather than panicking in a request path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

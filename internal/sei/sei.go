@@ -80,6 +80,8 @@ type Input struct {
 type Event struct {
 	X, Y   int // the threshold crossing point
 	BoxIdx int // index into Input.Edges
+	VIdx   int // index into Input.Lines.V (the event's annotation line)
+	HIdx   int // index into Input.Lines.H (the threshold line; -1 if none)
 	VLine  geom.VSeg
 	HLine  *geom.HSeg // the threshold line used, nil for step edges
 }
@@ -118,7 +120,7 @@ func Interpret(in Input, cfg Config) (*Output, error) {
 	arrows := arrowAssociate(in, cfg)
 
 	// Classify texts by role.
-	names, values, constraints := classifyTexts(in, arrows, cfg)
+	names, values, constraints, nameIdx, valueIdx, consIdx := classifyTexts(in, arrows, cfg)
 	out.Names, out.Values, out.Constraints = names, values, constraints
 
 	// Classified lines for scoring: V-lines are lines carrying an event or
@@ -140,7 +142,8 @@ func Interpret(in Input, cfg Config) (*Output, error) {
 	}
 
 	// SPO generation.
-	p, labelled, diags, err := buildSPO(in, cfg, groups, out.Events, arrows, names, values, constraints)
+	p, labelled, diags, err := buildSPO(in, cfg, groups, out.Events, arrows,
+		names, values, constraints, nameIdx, valueIdx, consIdx)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +160,8 @@ func Interpret(in Input, cfg Config) (*Output, error) {
 func edgeBoxEvents(in Input, cfg Config) []Event {
 	var events []Event
 	for bi, b := range in.Edges {
-		for _, v := range in.Lines.V {
+		for vi := range in.Lines.V {
+			v := in.Lines.V[vi]
 			box := b.Box.Expand(2, cfg.TopTol)
 			if v.Seg.X < box.X0 || v.Seg.X > box.X1 {
 				continue
@@ -174,17 +178,18 @@ func edgeBoxEvents(in Input, cfg Config) []Event {
 				continue
 			}
 			x := v.Seg.X
-			y, h := findHLine(in, b.Box, x)
-			events = append(events, Event{X: x, Y: y, BoxIdx: bi, VLine: v.Seg, HLine: h})
+			y, h, hi := findHLine(in, b.Box, x)
+			events = append(events, Event{X: x, Y: y, BoxIdx: bi, VIdx: vi, HIdx: hi, VLine: v.Seg, HLine: h})
 		}
 	}
 	return events
 }
 
 // findHLine implements FINDHLINE: it looks for a dashed threshold line
-// crossing column x inside box b and returns the crossing row; without one
-// it falls back to the box centre.
-func findHLine(in Input, b geom.Rect, x int) (int, *geom.HSeg) {
+// crossing column x inside box b and returns the crossing row plus the
+// contour's index in Input.Lines.H; without one it falls back to the box
+// centre (index -1).
+func findHLine(in Input, b geom.Rect, x int) (int, *geom.HSeg, int) {
 	for i := range in.Lines.H {
 		h := in.Lines.H[i]
 		if !lad.Dashed(h.Density) {
@@ -200,9 +205,9 @@ func findHLine(in Input, b geom.Rect, x int) (int, *geom.HSeg) {
 		if h.Seg.X1 < b.X0 || h.Seg.X0 > b.X1 {
 			continue
 		}
-		return h.Seg.Y, &h.Seg
+		return h.Seg.Y, &h.Seg, i
 	}
-	return b.CenterY(), nil
+	return b.CenterY(), nil, -1
 }
 
 // crossing is one (arrow, vline) intersection of Algorithm 2.
@@ -211,17 +216,27 @@ type crossing struct {
 	y int
 }
 
-// rawArrow is an unlabelled detected arrow.
+// rawArrow is an unlabelled detected arrow, carrying the indices of the
+// LAD contours that evidence it (for provenance): the vlines anchoring
+// its endpoints and the H contour(s) forming the shaft.
 type rawArrow struct {
-	y      int
-	x0, x1 int
+	y          int
+	x0, x1     int
+	v0Idx      int   // Input.Lines.V index of the left anchor
+	v1Idx      int   // Input.Lines.V index of the right anchor
+	shaftLines []int // Input.Lines.H indices of the shaft contour(s)
 }
 
 // arrowAssociate implements Algorithm 2 plus the outward-arrow pass.
 func arrowAssociate(in Input, cfg Config) []rawArrow {
 	fullSpan := int(cfg.FullSpanFrac * float64(in.Width))
-	var candidates []geom.HSeg
-	for _, h := range in.Lines.H {
+	type hcand struct {
+		seg geom.HSeg
+		idx int // index into in.Lines.H
+	}
+	var candidates []hcand
+	for hi := range in.Lines.H {
+		h := in.Lines.H[hi]
 		if h.Seg.Len() >= fullSpan {
 			continue // FULLSPAN: axis
 		}
@@ -235,22 +250,25 @@ func arrowAssociate(in Input, cfg Config) []rawArrow {
 		if touches {
 			continue // plateau, rail or threshold line
 		}
-		candidates = append(candidates, h.Seg)
+		candidates = append(candidates, hcand{seg: h.Seg, idx: hi})
 	}
 
 	var arrows []rawArrow
-	var halves []geom.HSeg // candidates anchored to a vline at one end only
+	var halves []hcand // candidates anchored to a vline at one end only
 	for _, h := range candidates {
 		// An arrow's shaft runs between the two vertical lines it
 		// measures: both endpoints anchor on a vline. Interior crossings
 		// (another event's line passing through the shaft) are
 		// incidental and ignored.
-		v0 := vlineNear(in, h.X0, h.Y, cfg.YTol)
-		v1 := vlineNear(in, h.X1, h.Y, cfg.YTol)
+		vi0, v0 := vlineNear(in, h.seg.X0, h.seg.Y, cfg.YTol)
+		vi1, v1 := vlineNear(in, h.seg.X1, h.seg.Y, cfg.YTol)
 		switch {
 		case v0 != nil && v1 != nil && v0.X < v1.X:
-			arrows = append(arrows, rawArrow{y: h.Y, x0: v0.X, x1: v1.X})
-		case (v0 != nil) != (v1 != nil) && h.Len() <= cfg.OutwardMaxTail:
+			arrows = append(arrows, rawArrow{
+				y: h.seg.Y, x0: v0.X, x1: v1.X,
+				v0Idx: vi0, v1Idx: vi1, shaftLines: []int{h.idx},
+			})
+		case (v0 != nil) != (v1 != nil) && h.seg.Len() <= cfg.OutwardMaxTail:
 			halves = append(halves, h)
 		}
 	}
@@ -260,25 +278,30 @@ func arrowAssociate(in Input, cfg Config) []rawArrow {
 	for i := 0; i < len(halves); i++ {
 		for j := i + 1; j < len(halves); j++ {
 			a, b := halves[i], halves[j]
-			if geom.Abs(a.Y-b.Y) > cfg.YTol {
+			if geom.Abs(a.seg.Y-b.seg.Y) > cfg.YTol {
 				continue
 			}
-			if a.X0 > b.X0 {
+			if a.seg.X0 > b.seg.X0 {
 				a, b = b, a
 			}
 			// a must end at a vline and b start at another, with the
 			// measured span between them.
-			va := vlineNear(in, a.X1, a.Y, cfg.YTol)
-			vb := vlineNear(in, b.X0, b.Y, cfg.YTol)
+			via, va := vlineNear(in, a.seg.X1, a.seg.Y, cfg.YTol)
+			vib, vb := vlineNear(in, b.seg.X0, b.seg.Y, cfg.YTol)
 			if va == nil || vb == nil || va.X >= vb.X {
 				continue
 			}
-			arrows = append(arrows, rawArrow{y: a.Y, x0: va.X, x1: vb.X})
+			arrows = append(arrows, rawArrow{
+				y: a.seg.Y, x0: va.X, x1: vb.X,
+				v0Idx: via, v1Idx: vib, shaftLines: []int{a.idx, b.idx},
+			})
 		}
 	}
 
-	// Deduplicate.
-	sort.Slice(arrows, func(i, j int) bool {
+	// Deduplicate. The stable sort keeps the y/x0 ordering the SPO
+	// builder depends on while making the dedup winner (and therefore the
+	// surviving provenance) deterministic for tied keys.
+	sort.SliceStable(arrows, func(i, j int) bool {
 		if arrows[i].y != arrows[j].y {
 			return arrows[i].y < arrows[j].y
 		}
@@ -307,38 +330,45 @@ func extendV(v geom.VSeg, tol int) geom.VSeg {
 }
 
 // vlineNear returns the vline whose column is within tol of x and whose
-// span covers row y (tolerantly), or nil.
-func vlineNear(in Input, x, y, tol int) *geom.VSeg {
+// span covers row y (tolerantly), plus its Input.Lines.V index, or
+// (-1, nil).
+func vlineNear(in Input, x, y, tol int) (int, *geom.VSeg) {
 	for i := range in.Lines.V {
 		v := in.Lines.V[i].Seg
 		if geom.Abs(v.X-x) <= tol+2 && y >= v.Y0-tol && y <= v.Y1+tol {
-			return &v
+			return i, &v
 		}
 	}
-	return nil
+	return -1, nil
 }
 
 // classifyTexts assigns roles by position: texts sitting at the left end of
 // a dashed threshold line are signal values even in the left margin,
 // far-left texts are signal names, texts just above an arrow span are
 // timing constraints, and the rest are signal values (thresholds, boundary
-// values).
-func classifyTexts(in Input, arrows []rawArrow, cfg Config) (names, values, constraints []ocr.Result) {
+// values). The index slices run parallel to the role lists and hold each
+// text's original position in Input.Texts, so provenance can point at the
+// OCR box a role-classified text came from.
+func classifyTexts(in Input, arrows []rawArrow, cfg Config) (names, values, constraints []ocr.Result, nameIdx, valueIdx, consIdx []int) {
 	leftMargin := in.Width * 13 / 100
-	for _, t := range in.Texts {
+	for ti, t := range in.Texts {
 		cx := t.Box.CenterX()
 		switch {
 		case isThresholdLabel(t.Box, in):
 			values = append(values, t)
+			valueIdx = append(valueIdx, ti)
 		case t.Box.X0 < leftMargin && cx < leftMargin*3/2:
 			names = append(names, t)
+			nameIdx = append(nameIdx, ti)
 		case isConstraintLabel(t.Box, arrows):
 			constraints = append(constraints, t)
+			consIdx = append(consIdx, ti)
 		default:
 			values = append(values, t)
+			valueIdx = append(valueIdx, ti)
 		}
 	}
-	return names, values, constraints
+	return names, values, constraints, nameIdx, valueIdx, consIdx
 }
 
 // isThresholdLabel reports whether a text box sits immediately beside a
@@ -411,7 +441,8 @@ func appendHSegUnique(segs []geom.HSeg, s geom.HSeg) []geom.HSeg {
 // dropped and reported as diagnostics — unless cfg.Strict, which keeps the
 // historical hard failure.
 func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
-	arrows []rawArrow, names, values, constraints []ocr.Result) (*spo.SPO, []dataset.Arrow, []diag.Diagnostic, error) {
+	arrows []rawArrow, names, values, constraints []ocr.Result,
+	nameIdx, valueIdx, consIdx []int) (*spo.SPO, []dataset.Arrow, []diag.Diagnostic, error) {
 
 	// Map each edge box to (signal index, edge index within signal).
 	type sigPos struct{ signal, edge int }
@@ -427,8 +458,12 @@ func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
 	}
 
 	// Signal names: nearest name text to each group's vertical centre.
+	// groupNameIdx remembers which Input.Texts entry supplied each name
+	// (-1 for the synthesized S<n> fallback), for provenance.
 	groupName := make([]string, len(groups))
+	groupNameIdx := make([]int, len(groups))
 	for si, g := range groups {
+		groupNameIdx[si] = -1
 		if len(g) == 0 {
 			continue
 		}
@@ -442,10 +477,10 @@ func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
 			}
 		}
 		cy := (y0 + y1) / 2
-		best, bestD := "", 1<<30
-		for _, n := range names {
+		best, bestD, bestI := "", 1<<30, -1
+		for ni, n := range names {
 			if d := geom.Abs(n.Box.CenterY() - cy); d < bestD {
-				best, bestD = n.Text, d
+				best, bestD, bestI = n.Text, d, nameIdx[ni]
 			}
 		}
 		if best == "" {
@@ -454,6 +489,7 @@ func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
 			best = cfg.NameLexicon.Correct(best)
 		}
 		groupName[si] = best
+		groupNameIdx[si] = bestI
 	}
 
 	// Events used by arrows, deduplicated by vline column.
@@ -488,15 +524,23 @@ func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
 	for _, x := range xs {
 		ni := nodeByX[x]
 		node := spo.Node{Signal: "?", EdgeIndex: 0, Type: spo.RiseStep, Threshold: spo.NoThreshold}
+		prov := spo.NodeProv{EdgeBox: -1, VLine: -1, HLine: -1, NameText: -1, ThresholdText: -1}
 		if ni.event != nil {
 			b := in.Edges[ni.event.BoxIdx]
 			node.Type = b.Type
+			prov.EdgeBox = ni.event.BoxIdx
+			prov.VLine = ni.event.VIdx
+			prov.HLine = ni.event.HIdx
 			if pos, ok := boxPos[ni.event.BoxIdx]; ok {
 				node.Signal = groupName[pos.signal]
 				node.EdgeIndex = pos.edge
+				prov.NameText = groupNameIdx[pos.signal]
 			}
 			if !b.Type.IsStep() {
-				th := thresholdText(ni.event, values)
+				th, ti := thresholdText(ni.event, values)
+				if ti >= 0 {
+					prov.ThresholdText = valueIdx[ti]
+				}
 				if th != "?" && cfg.ValueLexicon != nil {
 					th = cfg.ValueLexicon.Correct(th)
 				}
@@ -504,18 +548,27 @@ func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
 			}
 		}
 		nodeIdx[x] = p.AddNode(node)
+		p.NodeProv = append(p.NodeProv, prov)
 	}
 
 	var labelled []dataset.Arrow
 	for _, a := range arrows {
 		x0, x1 := a.x0, a.x1
+		v0, v1 := a.v0Idx, a.v1Idx
 		if x0 > x1 {
 			x0, x1 = x1, x0
+			v0, v1 = v1, v0
 		}
-		label := arrowLabel(a, constraints)
+		label, ci := arrowLabel(a, constraints)
 		if err := p.AddConstraint(nodeIdx[x0], nodeIdx[x1], label); err != nil {
 			return nil, nil, nil, err
 		}
+		cprov := spo.ConstraintProv{SrcVLine: v0, DstVLine: v1, LabelText: -1}
+		if ci >= 0 {
+			cprov.LabelText = consIdx[ci]
+		}
+		cprov.HLines = append(cprov.HLines, a.shaftLines...)
+		p.ConstraintProv = append(p.ConstraintProv, cprov)
 		labelled = append(labelled, dataset.Arrow{Y: a.y, X0: x0, X1: x1, Label: label})
 	}
 	if err := p.Validate(); err != nil {
@@ -542,12 +595,17 @@ func buildSPO(in Input, cfg Config, groups [][]sed.Detection, events []Event,
 func repairOrder(p *spo.SPO, labelled []dataset.Arrow) ([]spo.Constraint, []dataset.Arrow, []diag.Diagnostic) {
 	var diags []diag.Diagnostic
 	cons := p.Constraints
+	prov := p.ConstraintProv
 	drop := func(k int, why string) {
 		loc := geom.Rect{X0: labelled[k].X0, Y0: labelled[k].Y - 2, X1: labelled[k].X1, Y1: labelled[k].Y + 2}
 		diags = append(diags, diag.At(diag.StageSEI, diag.Warning, loc,
 			"dropped constraint %q (%d -> %d): %s", labelled[k].Label, cons[k].Src, cons[k].Dst, why))
 		cons = append(cons[:k], cons[k+1:]...)
 		labelled = append(labelled[:k], labelled[k+1:]...)
+		// ConstraintProv runs parallel to Constraints; prune in lockstep.
+		if k < len(prov) {
+			prov = append(prov[:k], prov[k+1:]...)
+		}
 	}
 	for k := 0; k < len(cons); k++ {
 		if cons[k].Src == cons[k].Dst {
@@ -557,6 +615,7 @@ func repairOrder(p *spo.SPO, labelled []dataset.Arrow) ([]spo.Constraint, []data
 	}
 	for {
 		p.Constraints = cons
+		p.ConstraintProv = prov
 		residue := cyclicResidue(p)
 		if len(residue) == 0 {
 			return cons, labelled, diags
@@ -620,13 +679,14 @@ func cyclicResidue(p *spo.SPO) map[int]bool {
 }
 
 // thresholdText finds the printed threshold of an event: the value text
-// closest to the event's threshold line, to its left.
-func thresholdText(e *Event, values []ocr.Result) string {
+// closest to the event's threshold line, to its left. The second result is
+// the chosen text's index in values (-1 if none matched).
+func thresholdText(e *Event, values []ocr.Result) (string, int) {
 	if e.HLine == nil {
-		return "?"
+		return "?", -1
 	}
-	best, bestD := "?", 1<<30
-	for _, v := range values {
+	best, bestD, bestI := "?", 1<<30, -1
+	for vi, v := range values {
 		dy := geom.Abs(v.Box.CenterY() - e.HLine.Y)
 		if dy > 8 {
 			continue
@@ -649,17 +709,18 @@ func thresholdText(e *Event, values []ocr.Result) string {
 			dx = 0
 		}
 		if d := dy*4 + dx; d < bestD {
-			best, bestD = v.Text, d
+			best, bestD, bestI = v.Text, d, vi
 		}
 	}
-	return best
+	return best, bestI
 }
 
 // arrowLabel finds the timing-parameter text of an arrow: the constraint
-// text just above the shaft, inside its span.
-func arrowLabel(a rawArrow, constraints []ocr.Result) string {
-	best, bestD := "t?", 1<<30
-	for _, c := range constraints {
+// text just above the shaft, inside its span. The second result is the
+// chosen text's index in constraints (-1 if none matched).
+func arrowLabel(a rawArrow, constraints []ocr.Result) (string, int) {
+	best, bestD, bestI := "t?", 1<<30, -1
+	for ci, c := range constraints {
 		cx := c.Box.CenterX()
 		if cx < a.x0 || cx > a.x1 {
 			continue
@@ -669,8 +730,8 @@ func arrowLabel(a rawArrow, constraints []ocr.Result) string {
 			continue
 		}
 		if dy < bestD {
-			best, bestD = c.Text, dy
+			best, bestD, bestI = c.Text, dy, ci
 		}
 	}
-	return best
+	return best, bestI
 }

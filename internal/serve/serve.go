@@ -10,7 +10,16 @@
 //	POST /v1/translate        PNG body in, SPO JSON + diagnostics out
 //	POST /v1/translate/batch  multipart/form-data of PNG files, JSON array out
 //	GET  /healthz             liveness + model summary
-//	GET  /metrics             Prometheus-style text exposition
+//	GET  /metrics             Prometheus text exposition
+//	GET  /version             build identity (module version, VCS revision)
+//	GET  /debug/pprof/*       runtime profiles
+//
+// Observability: every request is tagged with an X-Request-ID (the
+// client's, if sent, otherwise generated), echoed on the response and
+// carried through the structured access log. POST /v1/translate?debug=1
+// additionally runs the translation under a span trace and returns it
+// inline in the response, correlating each pipeline stage's latency and
+// detector counts with the request ID.
 //
 // Backpressure model: at most Workers translations run at once; at most
 // QueueDepth further requests wait for a slot. A request that would grow
@@ -29,10 +38,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"mime/multipart"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync"
@@ -42,7 +53,9 @@ import (
 	"tdmagic/internal/diag"
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/metrics"
+	"tdmagic/internal/obs"
 	"tdmagic/internal/spo"
+	"tdmagic/internal/version"
 )
 
 // Config tunes the service. The zero value of every field selects a
@@ -70,6 +83,9 @@ type Config struct {
 	// Registry receives the service and pipeline metrics; nil creates a
 	// private registry.
 	Registry *metrics.Registry
+	// Logger receives one structured access-log line per request,
+	// correlated by request ID. Nil disables access logging.
+	Logger *slog.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -100,11 +116,12 @@ func (c *Config) applyDefaults() {
 // Handler on any http.Server (or use Start/Shutdown), and it is ready for
 // concurrent traffic.
 type Server struct {
-	cfg   Config
-	pipe  *core.Pipeline
-	cache *lruCache
-	sem   chan struct{}
-	mux   *http.ServeMux
+	cfg     Config
+	pipe    *core.Pipeline
+	cache   *lruCache
+	sem     chan struct{}
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the request-ID/access-log middleware
 
 	httpSrv  *http.Server
 	listener net.Listener
@@ -150,11 +167,28 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 		inflight:    cfg.Registry.Gauge("tdserve_inflight_translations", "translations currently executing"),
 		queued:      cfg.Registry.Gauge("tdserve_queued_requests", "requests waiting for a worker slot"),
 	}
+	// The hit ratio is derived from the counters at scrape time, so it can
+	// never drift from them.
+	cfg.Registry.GaugeFunc("tdserve_cache_hit_ratio",
+		"fraction of translations answered from the result cache", func() float64 {
+			hits, misses := s.cacheHits.Value(), s.cacheMisses.Value()
+			if hits+misses == 0 {
+				return 0
+			}
+			return float64(hits) / float64(hits+misses)
+		})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/translate", s.handleTranslate)
 	s.mux.HandleFunc("/v1/translate/batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/version", s.handleVersion)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.handler = s.withRequestID(s.mux)
 	return s
 }
 
@@ -167,7 +201,79 @@ func defaultWorkers() int {
 }
 
 // Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// reqIDKey carries the request ID through a request's context.
+type reqIDKey struct{}
+
+// requestID returns the request's correlation ID ("" outside the
+// middleware, which only happens in direct handler unit tests).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(reqIDKey{}).(string)
+	return id
+}
+
+// sanitizeRequestID accepts a client-proposed X-Request-ID if it is short
+// and printable; anything else is replaced by a generated ID so log lines
+// and response headers cannot be polluted.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return ""
+		}
+	}
+	return id
+}
+
+// statusWriter records the status code written by a handler for the
+// access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// withRequestID tags every request with a correlation ID — the client's
+// X-Request-ID when acceptable, otherwise generated — echoes it on the
+// response, threads it through the request context, and emits one
+// structured access-log line per request when a logger is configured.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String(obs.RequestIDKey, id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", time.Since(start)),
+			)
+		}
+	})
+}
 
 // Registry returns the metrics registry the service records into.
 func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
@@ -186,7 +292,7 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	s.listener = ln
-	s.httpSrv = &http.Server{Handler: s.mux}
+	s.httpSrv = &http.Server{Handler: s.handler}
 	go func() { _ = s.httpSrv.Serve(ln) }()
 	return ln.Addr(), nil
 }
@@ -273,13 +379,25 @@ type processResult struct {
 
 // process translates one decoded picture through the cache, the bounded
 // worker pool and the per-request deadline. It is the shared execution
-// path of both endpoints.
-func (s *Server) process(ctx context.Context, img *imgproc.Gray) processResult {
+// path of both endpoints. skipCache bypasses the cache read (debug
+// requests want to observe the pipeline stages, and a cache hit would
+// record none); the result is still stored for later requests.
+func (s *Server) process(ctx context.Context, img *imgproc.Gray, skipCache bool) processResult {
 	s.requests.Inc()
 	key := hashImage(img)
-	if body, ok := s.cache.get(key); ok {
-		s.cacheHits.Inc()
-		return processResult{status: http.StatusOK, body: body, cached: true}
+	if !skipCache {
+		if body, ok := s.cache.get(key); ok {
+			s.cacheHits.Inc()
+			if sp := obs.StartSpan(ctx, "cache"); sp != nil {
+				sp.Bool("hit", true)
+				sp.End()
+			}
+			return processResult{status: http.StatusOK, body: body, cached: true}
+		}
+	}
+	if sp := obs.StartSpan(ctx, "cache"); sp != nil {
+		sp.Bool("hit", false).Bool("skipped", skipCache)
+		sp.End()
 	}
 	if err := s.acquire(ctx); err != nil {
 		if errors.Is(err, errQueueFull) {
@@ -351,6 +469,9 @@ func errorResult(status int, msg string, ds []diag.Diagnostic) processResult {
 }
 
 // handleTranslate serves POST /v1/translate: a PNG body in, one SPO out.
+// With ?debug=1 the translation runs under a span trace (bypassing the
+// cache read so every stage actually executes) and the response carries
+// the trace inline under "trace".
 func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST a PNG body", nil)
@@ -364,8 +485,36 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	res := s.process(r.Context(), img)
+	ctx := r.Context()
+	debug := r.URL.Query().Get("debug") == "1"
+	var tr *obs.Trace
+	if debug {
+		tr = obs.NewTrace(requestID(r))
+		ctx = obs.ContextWithTrace(ctx, tr)
+	}
+	res := s.process(ctx, img, debug)
+	if debug && res.status == http.StatusOK {
+		res = attachTrace(res, tr)
+	}
 	s.writeResult(w, res)
+}
+
+// attachTrace re-encodes a success body with the trace export appended.
+// Runs only on ?debug=1 requests, so the double encode stays off the
+// serving hot path.
+func attachTrace(res processResult, tr *obs.Trace) processResult {
+	var resp TranslateResponse
+	if err := json.Unmarshal(res.body, &resp); err != nil {
+		return res
+	}
+	body, err := json.Marshal(struct {
+		TranslateResponse
+		Trace *obs.Export `json:"trace"`
+	}{resp, tr.Export()})
+	if err != nil {
+		return res
+	}
+	return processResult{status: res.status, body: body, cached: res.cached}
 }
 
 // handleBatch serves POST /v1/translate/batch: multipart/form-data where
@@ -435,7 +584,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(j *job) {
 			defer wg.Done()
-			res := s.process(r.Context(), j.img)
+			res := s.process(r.Context(), j.img, false)
 			j.res = itemResultFrom(j.name, res)
 		}(j)
 	}
@@ -477,10 +626,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		s.cfg.Workers, s.cfg.QueueDepth, s.cache.len(), "\n")
 }
 
-// handleMetrics serves the text exposition of every registered metric.
+// handleMetrics serves the text exposition of every registered metric,
+// under the full Prometheus text-format content type (scrapers key on the
+// charset parameter too).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.cfg.Registry.WriteText(w)
+}
+
+// handleVersion serves the build identity.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(version.Get())
 }
 
 // writeResult writes a processResult, marking cache outcome and — on 429 —

@@ -119,12 +119,58 @@ type Constraint struct {
 	Delay string // timing parameter, e.g. "t_{D(on)}"
 }
 
+// NodeProv ties one SPO node back to the detector evidence it was read
+// from: indices into the translation report's detection lists (SED edge
+// boxes, LAD vertical/horizontal contours, OCR texts). -1 means no
+// evidence of that kind contributed — e.g. a node whose vertical line
+// carried no edge box. The indices resolve to pixel rectangles through
+// core.ResolveProvenance, which is what lets a consumer highlight, for
+// any event in the formal specification, the exact ink that produced it.
+type NodeProv struct {
+	// EdgeBox indexes the SED detection list (the event's edge box).
+	EdgeBox int `json:"edge_box"`
+	// VLine indexes the LAD vertical contours (the event annotation line).
+	VLine int `json:"vline"`
+	// HLine indexes the LAD horizontal contours (the threshold line FINDHLINE
+	// matched; -1 for step events, which use the box centre).
+	HLine int `json:"hline"`
+	// NameText indexes the OCR results (the signal-name text).
+	NameText int `json:"name_text"`
+	// ThresholdText indexes the OCR results (the threshold-value text).
+	ThresholdText int `json:"threshold_text"`
+}
+
+// ConstraintProv ties one timing constraint back to its evidence: the
+// arrow shaft contour(s), the two vertical lines it measures between,
+// and the delay-label text. Same index/-1 conventions as NodeProv.
+type ConstraintProv struct {
+	// SrcVLine / DstVLine index the LAD vertical contours anchoring the
+	// arrow's endpoints (source = left).
+	SrcVLine int `json:"src_vline"`
+	DstVLine int `json:"dst_vline"`
+	// HLines indexes the LAD horizontal contours forming the shaft — one
+	// entry for a plain arrow, two for the outward-arrow idiom.
+	HLines []int `json:"hlines,omitempty"`
+	// LabelText indexes the OCR results (the timing-parameter text).
+	LabelText int `json:"label_text"`
+}
+
 // SPO is a strict partial order over timing-diagram events, represented as
 // the DAG of its covering timing constraints. Nodes are ordered by global
 // left-to-right occurrence in the diagram.
+//
+// The provenance slices, when present, run parallel to Nodes and
+// Constraints (NodeProv[i] is node i's evidence). They are populated by
+// the SEI interpreter; specifications built by hand or parsed from text
+// have none. Structural and textual equality (TemplateEqual, TotalEqual)
+// deliberately ignore provenance — where a fact was read from does not
+// change the fact.
 type SPO struct {
 	Nodes       []Node
 	Constraints []Constraint
+
+	NodeProv       []NodeProv       `json:"node_prov,omitempty"`
+	ConstraintProv []ConstraintProv `json:"constraint_prov,omitempty"`
 }
 
 // AddNode appends an event and returns its index.
@@ -311,11 +357,19 @@ func (p *SPO) DOT(name string) string {
 	return b.String()
 }
 
-// Clone returns a deep copy of p.
+// Clone returns a deep copy of p, provenance included.
 func (p *SPO) Clone() *SPO {
 	q := &SPO{
 		Nodes:       append([]Node(nil), p.Nodes...),
 		Constraints: append([]Constraint(nil), p.Constraints...),
+		NodeProv:    append([]NodeProv(nil), p.NodeProv...),
+	}
+	if p.ConstraintProv != nil {
+		q.ConstraintProv = make([]ConstraintProv, len(p.ConstraintProv))
+		for i, cp := range p.ConstraintProv {
+			cp.HLines = append([]int(nil), cp.HLines...)
+			q.ConstraintProv[i] = cp
+		}
 	}
 	return q
 }

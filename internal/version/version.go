@@ -1,0 +1,63 @@
+// Package version reports the build's identity — module version, VCS
+// revision and dirty flag — read from the metadata the Go toolchain
+// embeds in every binary. All six CLIs answer -version from here and
+// tdserve exposes the same answer on GET /version, so "which build is
+// this?" has one consistent answer across every surface.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module's version ("(devel)" for a plain
+	// `go build` outside a released module).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, when the build had VCS metadata.
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// Get reads the build metadata. It never fails: a binary built without
+// build info (e.g. a bare test binary) reports "unknown".
+func Get() Info {
+	info := Info{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity as a one-line human answer to -version.
+func (i Info) String() string {
+	s := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if i.Dirty {
+			s += "+dirty"
+		}
+	}
+	return fmt.Sprintf("%s (%s)", s, i.GoVersion)
+}
