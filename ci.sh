@@ -19,15 +19,27 @@
 #                     pipeline plus the bit-packed kernel micro-benchmarks
 #                     (imgproc word ops, morphology, perception stage), so
 #                     every hot path is exercised end to end
+#   7b. bench-regression guard: the Fig. 1 single-image pipeline must not
+#                     regress more than 20% over the ns/op recorded in
+#                     BENCH_06.json (median of 3 runs, to ride out shared-
+#                     runner noise)
+#   7c. GOAMD64=v3 leg (only on avx2-capable runners): the whole tree must
+#                     build and the kernel micro-benchmarks must run under
+#                     the wider instruction baseline
 #   8. serve smoke:   end to end over HTTP — train a tiny model, render a
 #                     .td fixture, start tdserve on a random port,
 #                     translate the picture twice (second reply must be a
 #                     byte-identical cache hit), scrape /metrics, check
 #                     /version and /debug/pprof/heap, translate once with
 #                     ?debug=1 and validate the inline span trace (valid
-#                     JSON, all four stage spans), run tdmagic -trace on
+#                     JSON, all five stage spans), run tdmagic -trace on
 #                     the same picture and validate that trace too, then
 #                     SIGTERM and assert a clean drain and exit 0
+#   9. PGO loop:      capture a fresh CPU profile from the smoke server's
+#                     /debug/pprof/profile while translating in a loop and
+#                     rebuild tdserve against it — proving the checked-in
+#                     cmd/tdserve/default.pgo pipeline (profile -> -pgo
+#                     build) stays reproducible end to end
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -41,6 +53,31 @@ go test -run '^$' -bench BenchmarkFig1PipelineSingleImage -benchtime 1x .
 go test -run '^$' -bench BenchmarkBinaryOps -benchtime 1x ./internal/imgproc
 go test -run '^$' -bench BenchmarkMorphContours -benchtime 1x ./internal/morph
 go test -run '^$' -bench 'BenchmarkAnalyze$' -benchtime 1x .
+
+# --- bench-regression guard ------------------------------------------------
+# Median of 3 runs of the Fig. 1 pipeline vs the ceiling in BENCH_06.json.
+guard=$(mktemp)
+for i in 1 2 3; do
+	go test -run '^$' -bench BenchmarkFig1PipelineSingleImage -benchtime 20x . |
+		sed -n 's/^BenchmarkFig1PipelineSingleImage[^0-9]*[0-9]*[[:space:]]*\([0-9]*\) ns\/op.*/\1/p'
+done >"$guard"
+python3 - "$guard" BENCH_06.json <<'EOF'
+import json, sys
+runs = sorted(int(l) for l in open(sys.argv[1]) if l.strip())
+assert len(runs) == 3, f"expected 3 bench runs, parsed {runs}"
+limit = json.load(open(sys.argv[2]))["regression_guard"]["max_ns_per_op"]
+median = runs[1]
+print(f"fig1 pipeline median {median} ns/op (limit {limit})")
+assert median <= limit, f"Fig. 1 pipeline regressed: median {median} ns/op > {limit} ns/op (+20% over BENCH_06)"
+EOF
+rm -f "$guard"
+
+# --- GOAMD64=v3 leg (avx2 runners only) ------------------------------------
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+	GOAMD64=v3 go build ./...
+	GOAMD64=v3 go test -run '^$' -bench BenchmarkBinaryOps -benchtime 1x ./internal/imgproc
+	GOAMD64=v3 go test -run '^$' -bench BenchmarkMorphContours -benchtime 1x ./internal/morph
+fi
 
 # --- serve smoke -----------------------------------------------------------
 tmp=$(mktemp -d)
@@ -95,7 +132,7 @@ trace = doc.get("trace", doc)  # ?debug=1 nests the trace; tdmagic -trace is bar
 assert trace["request_id"], "trace has no request id"
 spans = trace["spans"]
 names = {s["name"] for s in spans}
-for stage in ("translate", "lad", "sed", "ocr", "sei"):
+for stage in ("translate", "binarize", "lad", "sed", "ocr", "sei"):
     assert stage in names, f"missing {stage} span, have {sorted(names)}"
 for s in spans:
     assert s["start_ns"] >= 0 and s["dur_ns"] >= 0, f"negative time in {s}"
@@ -111,6 +148,22 @@ curl -fsS "http://$addr/metrics" | grep -q 'tdmagic_stage_seconds_count{stage="s
 go build -o "$tmp/tdmagic" ./cmd/tdmagic
 "$tmp/tdmagic" -model "$tmp/model.gob" -trace "$tmp/trace.json" "$tmp/pic.png" >/dev/null 2>&1
 python3 "$tmp/check_trace.py" "$tmp/trace.json"
+
+# --- PGO loop: fresh profile from the live server, rebuild against it ------
+curl -fsS "http://$addr/debug/pprof/profile?seconds=4" -o "$tmp/cpu.pprof" &
+prof_pid=$!
+# Keep the translation path hot while the profiler samples (the cache is
+# bypassed with ?debug=1, so every request runs the full pipeline).
+for i in $(seq 1 50); do
+	curl -fsS --data-binary @"$tmp/pic.png" -H 'Content-Type: image/png' \
+		"http://$addr/v1/translate?debug=1" >/dev/null
+done
+wait "$prof_pid"
+test -s "$tmp/cpu.pprof"
+go build -pgo "$tmp/cpu.pprof" -o "$tmp/tdserve_pgo" ./cmd/tdserve
+go version -m "$tmp/tdserve_pgo" | grep -q 'build.*-pgo='
+# The checked-in profile must be what the default build picks up.
+go version -m "$tmp/tdserve" | grep -q 'build.*-pgo=.*cmd/tdserve/default.pgo'
 
 kill -TERM "$serve_pid"
 wait "$serve_pid" # non-zero exit (failed drain) fails the gate via set -e

@@ -51,6 +51,7 @@ func main() {
 		strict      = flag.Bool("strict", false, "fail (exit 1) on degraded inputs instead of emitting a best-effort partial specification")
 		traceOut    = flag.String("trace", "", "write the translation's span trace (per-stage timings and detector counts) to this JSON file")
 		chromeOut   = flag.String("chrome-trace", "", "write the span trace in Chrome trace_event format (open in chrome://tracing) to this JSON file")
+		intraW      = flag.Int("intra-workers", 0, "goroutines tiling the perception kernels within the picture (0 = every core: the CLI translates one picture, so it saturates the machine; output is identical for any value)")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -76,6 +77,13 @@ func main() {
 		log.Fatal(err)
 	}
 	pipe.Strict = *strict
+	// The CLI translates exactly one picture, so by default the kernels
+	// tile across every core rather than competing with nothing.
+	if *intraW == 0 {
+		pipe.IntraWorkers = -1
+	} else {
+		pipe.IntraWorkers = *intraW
+	}
 	ctx := context.Background()
 	var tr *obs.Trace
 	if *traceOut != "" || *chromeOut != "" {

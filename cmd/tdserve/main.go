@@ -58,6 +58,7 @@ func main() {
 		maxBody     = flag.Int64("max-body", 32<<20, "largest accepted PNG body in bytes")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
+		intraW      = flag.Int("intra-workers", 1, "goroutines tiling the perception kernels within each picture (default 1: the worker pool already runs one picture per core; raise only on big machines serving single hot requests)")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -73,6 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	pipe.IntraWorkers = *intraW
 
 	cfg := serve.Config{
 		Workers:      *workers,

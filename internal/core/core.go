@@ -33,8 +33,8 @@ import (
 // pooled per goroutine (sync.Pool), so one shared instance serves any
 // number of concurrent callers. This is the contract the tdserve worker
 // pool and the batch path rely on; TestConcurrentTranslateShared pins it
-// under the race detector. The mutable knobs (Strict, Metrics) must be set
-// before the pipeline is shared.
+// under the race detector. The mutable knobs (Strict, Metrics,
+// IntraWorkers) must be set before the pipeline is shared.
 type Pipeline struct {
 	SED    *sed.Model
 	OCR    *ocr.Model
@@ -52,6 +52,24 @@ type Pipeline struct {
 	// the pipeline is shared between goroutines; recording itself is
 	// atomic and concurrency-safe.
 	Metrics *PipelineMetrics
+	// IntraWorkers tiles the perception kernels (binarisation, morphology
+	// smears, component labelling) across goroutines *within* one picture:
+	// 0 or 1 translates sequentially, < 0 uses every core, > 1 uses that
+	// many goroutines. Output is bit-identical for any value. Interactive
+	// single-image callers should set it negative to saturate the machine;
+	// batch surfaces that already run one picture per worker (tdserve,
+	// tdeval, TranslateAll) should leave it at 0 — inner and outer
+	// parallelism multiply. Like the other knobs it must be set before the
+	// pipeline is shared.
+	IntraWorkers int
+}
+
+// intraWorkers resolves the IntraWorkers knob to a concrete worker count.
+func (p *Pipeline) intraWorkers() int {
+	if p.IntraWorkers == 0 {
+		return 1
+	}
+	return parallel.Resolve(p.IntraWorkers)
 }
 
 // Report exposes every intermediate result of a translation, for
@@ -188,6 +206,7 @@ func (p *Pipeline) Translate(img *imgproc.Gray) (*spo.SPO, *Report, error) {
 // translation within one stage pass and surfaces as ctx's error.
 func (p *Pipeline) TranslateContext(ctx context.Context, img *imgproc.Gray) (out *spo.SPO, rep *Report, err error) {
 	if p.Metrics != nil {
+		p.Metrics.IntraWorkers.Set(int64(p.intraWorkers()))
 		start := time.Now()
 		defer func() {
 			p.Metrics.observe(time.Since(start), rep, err)
@@ -300,21 +319,43 @@ func (p *Pipeline) Analyze(img *imgproc.Gray) *Report {
 	return rep
 }
 
-// analyzeStagesCtx runs LAD, then SED and OCR concurrently. The picture is
-// binarised once inside lad.Detect and both downstream stages read the
-// shared packed image (and the contour result) without mutating either, so
-// they are free to overlap; the text/edge cross-check runs after the join
-// and the report is bit-identical to the sequential order. Edge detections
-// that coincide with recognised text are discarded: a glyph like the
-// signal name "X" is itself a small double-ramp shape, and only the
-// cross-check against OCR separates the two readings.
+// analyzeStagesCtx binarises the picture, runs LAD, then SED and OCR
+// concurrently. The picture is binarised exactly once here in core — its
+// own "binarize" span and stage metric, tiled over intraWorkers goroutines
+// — and both LAD and the downstream stages read the shared packed image
+// (and the contour result) without mutating either, so they are free to
+// overlap; the text/edge cross-check runs after the join and the report is
+// bit-identical to the sequential order. Edge detections that coincide
+// with recognised text are discarded: a glyph like the signal name "X" is
+// itself a small double-ramp shape, and only the cross-check against OCR
+// separates the two readings.
 //
 // Every stage checks ctx cooperatively; the first stage error (only ever
 // a context error) aborts the translation.
 func (p *Pipeline) analyzeStagesCtx(ctx context.Context, img *imgproc.Gray, runSED bool) (*Report, error) {
-	spLAD := obs.StartSpan(ctx, "lad")
+	w := p.intraWorkers()
+	spBin := obs.StartSpan(ctx, "binarize")
 	t0 := time.Now()
-	lines, err := lad.DetectCtx(ctx, img, p.LADCfg)
+	thr := p.LADCfg.Threshold
+	if thr == 0 {
+		thr = imgproc.OtsuThresholdW(img, w)
+	}
+	bw := imgproc.ThresholdW(img, thr, w)
+	if p.Metrics != nil {
+		p.Metrics.StageBinarize.Observe(time.Since(t0).Seconds())
+	}
+	if spBin != nil {
+		spBin.Int("threshold", int64(thr))
+		spBin.End()
+	}
+	if err := ctx.Err(); err != nil {
+		return &Report{}, err
+	}
+	spLAD := obs.StartSpan(ctx, "lad")
+	t0 = time.Now()
+	ladCfg := p.LADCfg
+	ladCfg.Workers = w
+	lines, err := lad.DetectBinaryCtx(ctx, bw, ladCfg)
 	if p.Metrics != nil {
 		p.Metrics.StageLAD.Observe(time.Since(t0).Seconds())
 	}
@@ -346,7 +387,7 @@ func (p *Pipeline) analyzeStagesCtx(ctx context.Context, img *imgproc.Gray, runS
 			// OCR's under the same parent, recorded goroutine-safely.
 			sp := obs.StartSpan(ctx, "sed")
 			t0 := time.Now()
-			edges, sedErr = p.SED.DetectCtx(ctx, img, lines)
+			edges, sedErr = p.SED.DetectCtxW(ctx, img, lines, w)
 			if p.Metrics != nil {
 				p.Metrics.StageSED.Observe(time.Since(t0).Seconds())
 			}
@@ -359,7 +400,9 @@ func (p *Pipeline) analyzeStagesCtx(ctx context.Context, img *imgproc.Gray, runS
 	if p.OCR != nil {
 		sp := obs.StartSpan(ctx, "ocr")
 		t0 := time.Now()
-		texts, ocrErr := p.OCR.ReadAllCtx(ctx, lines.BW, lines, p.OCRCfg)
+		ocrCfg := p.OCRCfg
+		ocrCfg.Workers = w
+		texts, ocrErr := p.OCR.ReadAllCtx(ctx, lines.BW, lines, ocrCfg)
 		if p.Metrics != nil {
 			p.Metrics.StageOCR.Observe(time.Since(t0).Seconds())
 		}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestIntraWorkersInvariance pins the IntraWorkers contract: the perception
+// kernels are tiled, not approximated, so the serialised specification of
+// every validation picture must be byte-identical for any worker count.
+// Under `go test -race` this also exercises the concurrent V/H contour
+// extraction and the tiled binarisation/labelling for data races.
+func TestIntraWorkersInvariance(t *testing.T) {
+	pipe, val := trainSmall(t)
+
+	type ref struct {
+		text  string
+		diags int
+		err   bool
+	}
+	base := make([]ref, len(val))
+	pipe.IntraWorkers = 0
+	for i, s := range val {
+		got, rep, err := pipe.Translate(s.Image)
+		base[i] = ref{err: err != nil}
+		if err == nil {
+			base[i].text = got.SpecText()
+			base[i].diags = len(rep.Diags)
+		}
+	}
+
+	defer func() { pipe.IntraWorkers = 0 }()
+	for _, workers := range []int{1, 2, 7, runtime.GOMAXPROCS(0), -1} {
+		pipe.IntraWorkers = workers
+		for i, s := range val {
+			got, rep, err := pipe.Translate(s.Image)
+			if (err != nil) != base[i].err {
+				t.Fatalf("workers=%d sample %d: err=%v, sequential err=%v", workers, i, err, base[i].err)
+			}
+			if err != nil {
+				continue
+			}
+			if text := got.SpecText(); text != base[i].text {
+				t.Errorf("workers=%d sample %d: serialised SPO differs from sequential:\n%s\n-- sequential --\n%s",
+					workers, i, text, base[i].text)
+			}
+			if len(rep.Diags) != base[i].diags {
+				t.Errorf("workers=%d sample %d: %d diags, sequential %d", workers, i, len(rep.Diags), base[i].diags)
+			}
+		}
+	}
+}

@@ -35,30 +35,38 @@ type PipelineMetrics struct {
 	Diagnostics *metrics.Counter
 	// Latency is the wall-clock distribution of TranslateContext calls.
 	Latency *metrics.Histogram
-	// StageLAD/StageSED/StageOCR/StageSEI are the per-stage wall-clock
-	// distributions, exposed as one tdmagic_stage_seconds histogram vector
-	// labelled stage="lad"|"sed"|"ocr"|"sei". SED and OCR overlap, so their
-	// sums can exceed tdmagic_translate_seconds.
-	StageLAD *metrics.Histogram
-	StageSED *metrics.Histogram
-	StageOCR *metrics.Histogram
-	StageSEI *metrics.Histogram
+	// StageBinarize/StageLAD/StageSED/StageOCR/StageSEI are the per-stage
+	// wall-clock distributions, exposed as one tdmagic_stage_seconds
+	// histogram vector labelled
+	// stage="binarize"|"lad"|"sed"|"ocr"|"sei". SED and OCR overlap, so
+	// their sums can exceed tdmagic_translate_seconds.
+	StageBinarize *metrics.Histogram
+	StageLAD      *metrics.Histogram
+	StageSED      *metrics.Histogram
+	StageOCR      *metrics.Histogram
+	StageSEI      *metrics.Histogram
+	// IntraWorkers exports the pipeline's resolved intra-image worker
+	// count, so a scrape can tell whether a deployment runs the kernels
+	// tiled or sequentially.
+	IntraWorkers *metrics.Gauge
 }
 
 // NewPipelineMetrics registers the translation metric bundle on reg under
 // the tdmagic_ prefix and returns it.
 func NewPipelineMetrics(reg *metrics.Registry) *PipelineMetrics {
 	return &PipelineMetrics{
-		Translations: reg.Counter("tdmagic_translations_total", "completed translations"),
-		Failures:     reg.Counter("tdmagic_translate_failures_total", "translations that returned an error"),
-		Timeouts:     reg.Counter("tdmagic_translate_timeouts_total", "translations cancelled by a deadline"),
-		Panics:       reg.Counter("tdmagic_translate_panics_total", "batch items recovered from a panic"),
-		Diagnostics:  reg.Counter("tdmagic_translate_diags_total", "degradation diagnostics emitted"),
-		Latency:      reg.Histogram("tdmagic_translate_seconds", "translation wall-clock latency", nil),
-		StageLAD:     stageHistogram(reg, "lad"),
-		StageSED:     stageHistogram(reg, "sed"),
-		StageOCR:     stageHistogram(reg, "ocr"),
-		StageSEI:     stageHistogram(reg, "sei"),
+		Translations:  reg.Counter("tdmagic_translations_total", "completed translations"),
+		Failures:      reg.Counter("tdmagic_translate_failures_total", "translations that returned an error"),
+		Timeouts:      reg.Counter("tdmagic_translate_timeouts_total", "translations cancelled by a deadline"),
+		Panics:        reg.Counter("tdmagic_translate_panics_total", "batch items recovered from a panic"),
+		Diagnostics:   reg.Counter("tdmagic_translate_diags_total", "degradation diagnostics emitted"),
+		Latency:       reg.Histogram("tdmagic_translate_seconds", "translation wall-clock latency", nil),
+		StageBinarize: stageHistogram(reg, "binarize"),
+		StageLAD:      stageHistogram(reg, "lad"),
+		StageSED:      stageHistogram(reg, "sed"),
+		StageOCR:      stageHistogram(reg, "ocr"),
+		StageSEI:      stageHistogram(reg, "sei"),
+		IntraWorkers:  reg.Gauge("tdmagic_intra_workers", "resolved intra-image worker count"),
 	}
 }
 

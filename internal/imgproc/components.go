@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tdmagic/internal/geom"
+	"tdmagic/internal/parallel"
 )
 
 // Component is a maximal set of 8-connected ink pixels.
@@ -14,65 +15,103 @@ type Component struct {
 	Points []geom.Pt // member pixels, row-major order
 }
 
+// hrun is a maximal horizontal run of set pixels, the labelling unit of the
+// connected-component pass. Runs are stored in global row-major order
+// ((y, x0) ascending), so a run's slice index doubles as its discovery rank.
+type hrun struct {
+	y      int32
+	x0, x1 int32 // inclusive column range
+}
+
+// Region is a connected component reduced to its aggregate geometry. The
+// pipeline's consumers (contour extraction, edge proposals, text regions)
+// only need the bounding box and pixel count, so the labelling pass can skip
+// materialising the member-pixel list entirely.
+type Region struct {
+	Box  geom.Rect
+	Area int
+}
+
 // Components labels b with 8-connectivity and returns every connected
 // component of set pixels, sorted top-to-bottom then left-to-right by
 // bounding-box origin. Components with fewer than minArea pixels are dropped.
-//
-// The scan for unvisited seed pixels walks the packed words (a trailing-zero
-// scan skips blank stretches 64 pixels at a time); the flood fill itself is
-// per-pixel.
 func Components(b *Binary, minArea int) []Component {
-	labels := make([]int32, b.W*b.H)
-	for i := range labels {
-		labels[i] = -1
+	return ComponentsW(b, minArea, 1)
+}
+
+// Regions is RegionsW with a single worker.
+func Regions(b *Binary, minArea int) []Region {
+	return RegionsW(b, minArea, 1)
+}
+
+// RegionsW labels b like ComponentsW but returns only each component's
+// bounding box and area, skipping the per-pixel Points materialisation —
+// the fast path for callers that never look at individual member pixels.
+// Ordering and filtering are identical to ComponentsW.
+func RegionsW(b *Binary, minArea, workers int) []Region {
+	runs, _, parent := labelRuns(b, workers)
+	if runs == nil {
+		return nil
 	}
-	var comps []Component
-	// Iterative BFS flood fill to stay stack-safe on large blobs.
-	queue := make([]geom.Pt, 0, 256)
-	for y := 0; y < b.H; y++ {
-		row := b.Row(y)
-		for wi, w := range row {
-			for w != 0 {
-				x := wi<<6 + bits.TrailingZeros64(w)
-				w &= w - 1
-				idx := y*b.W + x
-				if labels[idx] >= 0 {
-					continue
-				}
-				id := int32(len(comps))
-				labels[idx] = id
-				queue = queue[:0]
-				queue = append(queue, geom.Pt{X: x, Y: y})
-				comp := Component{Box: geom.Rect{X0: x, Y0: y, X1: x, Y1: y}}
-				for len(queue) > 0 {
-					p := queue[len(queue)-1]
-					queue = queue[:len(queue)-1]
-					comp.Points = append(comp.Points, p)
-					comp.Area++
-					comp.Box = comp.Box.Union(geom.Rect{X0: p.X, Y0: p.Y, X1: p.X, Y1: p.Y})
-					for dy := -1; dy <= 1; dy++ {
-						for dx := -1; dx <= 1; dx++ {
-							if dx == 0 && dy == 0 {
-								continue
-							}
-							nx, ny := p.X+dx, p.Y+dy
-							if !b.At(nx, ny) {
-								continue
-							}
-							nidx := ny*b.W + nx
-							if labels[nidx] < 0 {
-								labels[nidx] = id
-								queue = append(queue, geom.Pt{X: nx, Y: ny})
-							}
-						}
-					}
-				}
-				if comp.Area >= minArea {
-					comps = append(comps, comp)
-				}
-			}
+	accs, _ := accumulate(runs, parent)
+	regs := make([]Region, 0, len(accs))
+	for _, a := range accs {
+		if int(a.area) >= minArea {
+			regs = append(regs, Region{Box: a.box, Area: int(a.area)})
 		}
 	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Box.Y0 != regs[j].Box.Y0 {
+			return regs[i].Box.Y0 < regs[j].Box.Y0
+		}
+		return regs[i].Box.X0 < regs[j].Box.X0
+	})
+	return regs
+}
+
+// ComponentsW is Components fanned out over workers goroutines (<= 1 runs
+// sequentially, inline). The image rows are split into bands: each band
+// extracts its runs with trailing-zero word scans and unions vertically
+// adjacent runs locally, then a sequential stitch pass merges runs across
+// the band boundaries in index order. Union-by-minimum-index keeps every
+// set's root at the component's first run in row-major order, so component
+// discovery order — and therefore the sorted output — is bit-identical for
+// any worker count, and identical to the historical per-pixel flood fill.
+func ComponentsW(b *Binary, minArea, workers int) []Component {
+	runs, _, parent := labelRuns(b, workers)
+	if runs == nil {
+		return nil
+	}
+	accs, compOf := accumulate(runs, parent)
+
+	// Materialise the kept components, Points in row-major order.
+	kept := make([]int32, len(accs))
+	var comps []Component
+	for ci, a := range accs {
+		if int(a.area) >= minArea {
+			kept[ci] = int32(len(comps))
+			comps = append(comps, Component{
+				Box:    a.box,
+				Area:   int(a.area),
+				Points: make([]geom.Pt, 0, a.area),
+			})
+		} else {
+			kept[ci] = -1
+		}
+	}
+	for i := range runs {
+		ki := kept[compOf[i]]
+		if ki < 0 {
+			continue
+		}
+		pts := comps[ki].Points
+		y := int(runs[i].y)
+		for x := int(runs[i].x0); x <= int(runs[i].x1); x++ {
+			pts = append(pts, geom.Pt{X: x, Y: y})
+		}
+		comps[ki].Points = pts
+	}
+
 	sort.Slice(comps, func(i, j int) bool {
 		if comps[i].Box.Y0 != comps[j].Box.Y0 {
 			return comps[i].Box.Y0 < comps[j].Box.Y0
@@ -80,6 +119,159 @@ func Components(b *Binary, minArea int) []Component {
 		return comps[i].Box.X0 < comps[j].Box.X0
 	})
 	return comps
+}
+
+// labelRuns extracts the maximal horizontal runs of b in row-major order and
+// unions 8-connected runs, banded over workers goroutines. It returns nil
+// runs when the image is blank or degenerate.
+func labelRuns(b *Binary, workers int) (runs []hrun, rowOff []int32, parent []int32) {
+	if b.W <= 0 || b.H <= 0 {
+		return nil, nil, nil
+	}
+	workers = parallel.Resolve(workers)
+
+	// Band partition: at least a few rows per band so the stitch pass stays
+	// negligible; one band per worker is enough (runs scale with rows).
+	nb := workers
+	if nb > b.H {
+		nb = b.H
+	}
+	if nb < 1 {
+		nb = 1
+	}
+	bandStart := func(i int) int { return i * b.H / nb }
+
+	// Pass 1: per-band run extraction, plus per-row run counts so the bands
+	// can be concatenated into one row-major slice with O(1) row lookup.
+	bandRuns := make([][]hrun, nb)
+	rowOff = make([]int32, b.H+1)
+	parallel.For(workers, nb, func(bi int) {
+		y0, y1 := bandStart(bi), bandStart(bi+1)
+		rs := make([]hrun, 0, 4*(y1-y0))
+		for y := y0; y < y1; y++ {
+			row := b.Row(y)
+			n := int32(0)
+			x := nextSet(row, 0, b.W)
+			for x < b.W {
+				end := nextClear(row, x+1, b.W)
+				rs = append(rs, hrun{y: int32(y), x0: int32(x), x1: int32(end - 1)})
+				n++
+				x = nextSet(row, end+1, b.W)
+			}
+			rowOff[y+1] = n // per-row count; prefix-summed below
+		}
+		bandRuns[bi] = rs
+	})
+	for y := 0; y < b.H; y++ {
+		rowOff[y+1] += rowOff[y]
+	}
+	nRuns := int(rowOff[b.H])
+	if nRuns == 0 {
+		return nil, nil, nil
+	}
+	runs = make([]hrun, nRuns)
+	parent = make([]int32, nRuns)
+	parallel.For(workers, nb, func(bi int) {
+		off := rowOff[bandStart(bi)]
+		copy(runs[off:], bandRuns[bi])
+		for i := range bandRuns[bi] {
+			parent[int(off)+i] = off + int32(i)
+		}
+	})
+
+	// Pass 2: union vertically adjacent runs. Each band unions the row pairs
+	// strictly inside it — those touch only run indices in the band's range,
+	// so the bands are data-independent — and the boundary row pairs are
+	// stitched sequentially afterwards, in band order.
+	parallel.For(workers, nb, func(bi int) {
+		for y := bandStart(bi) + 1; y < bandStart(bi+1); y++ {
+			unionRows(runs, parent, rowOff, y)
+		}
+	})
+	for bi := 1; bi < nb; bi++ {
+		unionRows(runs, parent, rowOff, bandStart(bi))
+	}
+	return runs, rowOff, parent
+}
+
+// compAcc is the per-component aggregate built by accumulate.
+type compAcc struct {
+	box  geom.Rect
+	area int32
+}
+
+// accumulate resolves every run's root and folds area and bounding box per
+// component. Union-by-min guarantees root(i) <= i, so one ascending sweep
+// sees every root before its members; components come out in discovery
+// order (row-major order of each component's first run).
+func accumulate(runs []hrun, parent []int32) ([]compAcc, []int32) {
+	compOf := make([]int32, len(runs))
+	var accs []compAcc
+	for i := range runs {
+		r := findRoot(parent, int32(i))
+		var ci int32
+		if int(r) == i {
+			ci = int32(len(accs))
+			accs = append(accs, compAcc{box: geom.Rect{
+				X0: int(runs[i].x0), Y0: int(runs[i].y),
+				X1: int(runs[i].x1), Y1: int(runs[i].y),
+			}})
+		} else {
+			ci = compOf[r]
+			a := &accs[ci]
+			if int(runs[i].x0) < a.box.X0 {
+				a.box.X0 = int(runs[i].x0)
+			}
+			if int(runs[i].x1) > a.box.X1 {
+				a.box.X1 = int(runs[i].x1)
+			}
+			a.box.Y1 = int(runs[i].y) // runs arrive in ascending y
+		}
+		compOf[i] = ci
+		accs[ci].area += runs[i].x1 - runs[i].x0 + 1
+	}
+	return accs, compOf
+}
+
+// unionRows unions every 8-connected run pair between row y-1 and row y with
+// a linear merge of the two sorted run lists.
+func unionRows(runs []hrun, parent []int32, rowOff []int32, y int) {
+	i, iEnd := rowOff[y-1], rowOff[y]
+	j, jEnd := rowOff[y], rowOff[y+1]
+	for i < iEnd && j < jEnd {
+		// 8-connectivity: the run above touches [x0-1, x1+1] of the run below.
+		if runs[i].x1+1 >= runs[j].x0 && runs[i].x0 <= runs[j].x1+1 {
+			union(parent, i, j)
+		}
+		if runs[i].x1 < runs[j].x1 {
+			i++
+		} else {
+			j++
+		}
+	}
+}
+
+// findRoot returns the set root with path halving.
+func findRoot(parent []int32, i int32) int32 {
+	for parent[i] != i {
+		parent[i] = parent[parent[i]]
+		i = parent[i]
+	}
+	return i
+}
+
+// union merges the sets of a and b, keeping the smaller root index — so a
+// set's root is always its first run in row-major order.
+func union(parent []int32, a, b int32) {
+	ra, rb := findRoot(parent, a), findRoot(parent, b)
+	if ra == rb {
+		return
+	}
+	if ra < rb {
+		parent[rb] = ra
+	} else {
+		parent[ra] = rb
+	}
 }
 
 // Mask returns a Binary of the component's bounding-box size with exactly the
@@ -106,15 +298,62 @@ func RowProfile(b *Binary) []int {
 }
 
 // ColProfile returns, for each column of b, the number of set pixels.
+//
+// Columns are counted 64 at a time without transposing: per word column a
+// bit-sliced adder (8 carry planes, one bit per column each) accumulates up
+// to 255 rows, and the planes are unpacked into the profile per chunk. The
+// cost is a handful of word operations per row instead of one popcount-loop
+// iteration per set pixel, which keeps dense images (solid plateaus, filled
+// glyphs) as cheap as sparse ones.
 func ColProfile(b *Binary) []int {
 	prof := make([]int, b.W)
-	for y := 0; y < b.H; y++ {
-		for wi, w := range b.Row(y) {
-			base := wi << 6
-			for w != 0 {
-				prof[base+bits.TrailingZeros64(w)]++
-				w &= w - 1
+	for wi := 0; wi < b.Stride; wi++ {
+		base := wi << 6
+		width := 64
+		if base+width > b.W {
+			width = b.W - base
+		}
+		var c0, c1, c2, c3, c4, c5, c6, c7 uint64
+		rows := 0
+		flush := func() {
+			for l := 0; l < width; l++ {
+				prof[base+l] += int(c0>>l&1) | int(c1>>l&1)<<1 | int(c2>>l&1)<<2 |
+					int(c3>>l&1)<<3 | int(c4>>l&1)<<4 | int(c5>>l&1)<<5 |
+					int(c6>>l&1)<<6 | int(c7>>l&1)<<7
 			}
+			c0, c1, c2, c3, c4, c5, c6, c7 = 0, 0, 0, 0, 0, 0, 0, 0
+			rows = 0
+		}
+		for y := 0; y < b.H; y++ {
+			// Ripple-carry add of one bit per column; the carry chain
+			// almost always dies after one or two planes.
+			c := b.Words[y*b.Stride+wi]
+			c, c0 = c&c0, c^c0
+			if c != 0 {
+				c, c1 = c&c1, c^c1
+				if c != 0 {
+					c, c2 = c&c2, c^c2
+					if c != 0 {
+						c, c3 = c&c3, c^c3
+						if c != 0 {
+							c, c4 = c&c4, c^c4
+							if c != 0 {
+								c, c5 = c&c5, c^c5
+								if c != 0 {
+									c, c6 = c&c6, c^c6
+									c7 ^= c // rows < 256: no carry out
+								}
+							}
+						}
+					}
+				}
+			}
+			if rows++; rows == 255 {
+				flush()
+			}
+		}
+		if rows > 0 {
+			flush()
 		}
 	}
 	return prof

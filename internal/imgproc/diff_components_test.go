@@ -1,0 +1,362 @@
+package imgproc
+
+import (
+	"image"
+	"image/color"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tdmagic/internal/geom"
+)
+
+// Differential tests of the run-based union-find component labelling and the
+// banked Otsu histogram against their obvious per-pixel references, on random
+// and adversarial images, plus worker-count invariance for every *W kernel.
+
+// testWorkerCounts exercises the sequential path, an even split, a count
+// that does not divide typical image heights, and "every core".
+var testWorkerCounts = []int{1, 2, 7, -1}
+
+// refComponents is the per-pixel BFS reference for 8-connected component
+// labelling, returning each component's points sorted row-major.
+func refComponents(s *shadowBin, minArea int) []Component {
+	visited := make([]bool, len(s.pix))
+	var comps []Component
+	for start := range s.pix {
+		if !s.pix[start] || visited[start] {
+			continue
+		}
+		queue := []int{start}
+		visited[start] = true
+		var pts []geom.Pt
+		box := geom.Rect{X0: s.w, Y0: s.h, X1: -1, Y1: -1}
+		for len(queue) > 0 {
+			i := queue[0]
+			queue = queue[1:]
+			x, y := i%s.w, i/s.w
+			pts = append(pts, geom.Pt{X: x, Y: y})
+			if x < box.X0 {
+				box.X0 = x
+			}
+			if x > box.X1 {
+				box.X1 = x
+			}
+			if y < box.Y0 {
+				box.Y0 = y
+			}
+			if y > box.Y1 {
+				box.Y1 = y
+			}
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || ny < 0 || nx >= s.w || ny >= s.h {
+						continue
+					}
+					j := ny*s.w + nx
+					if s.pix[j] && !visited[j] {
+						visited[j] = true
+						queue = append(queue, j)
+					}
+				}
+			}
+		}
+		if len(pts) < minArea {
+			continue
+		}
+		sort.Slice(pts, func(a, b int) bool {
+			if pts[a].Y != pts[b].Y {
+				return pts[a].Y < pts[b].Y
+			}
+			return pts[a].X < pts[b].X
+		})
+		comps = append(comps, Component{Box: box, Area: len(pts), Points: pts})
+	}
+	return comps
+}
+
+// canonicalize orders components by a total key so two correct labellings
+// compare equal even where the production (Y0, X0) sort leaves ties.
+func canonicalize(comps []Component) {
+	sort.Slice(comps, func(i, j int) bool {
+		a, b := comps[i], comps[j]
+		if a.Box != b.Box {
+			if a.Box.Y0 != b.Box.Y0 {
+				return a.Box.Y0 < b.Box.Y0
+			}
+			if a.Box.X0 != b.Box.X0 {
+				return a.Box.X0 < b.Box.X0
+			}
+			if a.Box.Y1 != b.Box.Y1 {
+				return a.Box.Y1 < b.Box.Y1
+			}
+			return a.Box.X1 < b.Box.X1
+		}
+		return a.Points[0].Y*1<<20+a.Points[0].X < b.Points[0].Y*1<<20+b.Points[0].X
+	})
+}
+
+func checkComponents(t *testing.T, name string, got, want []Component) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d components, want %d", name, len(got), len(want))
+	}
+	canonicalize(got)
+	canonicalize(want)
+	for i := range got {
+		if got[i].Box != want[i].Box || got[i].Area != want[i].Area {
+			t.Fatalf("%s: component %d box=%+v area=%d, want box=%+v area=%d",
+				name, i, got[i].Box, got[i].Area, want[i].Box, want[i].Area)
+		}
+		if !reflect.DeepEqual(got[i].Points, want[i].Points) {
+			t.Fatalf("%s: component %d points differ (%d vs %d pts)",
+				name, i, len(got[i].Points), len(want[i].Points))
+		}
+	}
+}
+
+func TestDiffComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, w := range testWidths {
+		for _, density := range []int{1, 2, 3} {
+			b, s := randomPair(rng, w, 19, density)
+			for _, minArea := range []int{1, 2, 8} {
+				want := refComponents(s, minArea)
+				for _, workers := range testWorkerCounts {
+					got := ComponentsW(b, minArea, workers)
+					checkComponents(t, "ComponentsW", got, want)
+					regs := RegionsW(b, minArea, workers)
+					if len(regs) != len(want) {
+						t.Fatalf("RegionsW(workers=%d): %d regions, want %d", workers, len(regs), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// adversarialImages are shapes that stress the word-packing edge cases: the
+// degenerate 1-pixel-wide column, solid ink, blank paper, a checkerboard
+// (maximal component count under 8-connectivity is 1: diagonals connect),
+// and isolated single-pixel columns.
+func adversarialImages() map[string]*Binary {
+	out := map[string]*Binary{}
+
+	thin := NewBinary(1, 40)
+	for y := 0; y < 40; y += 3 {
+		thin.Set(0, y, true)
+		if y+1 < 40 {
+			thin.Set(0, y+1, true)
+		}
+	}
+	out["1px-wide"] = thin
+
+	ink := NewBinary(129, 17)
+	ink.Fill(true)
+	out["all-ink"] = ink
+
+	out["all-blank"] = NewBinary(130, 9)
+
+	check := NewBinary(67, 12)
+	for y := 0; y < 12; y++ {
+		for x := (y & 1); x < 67; x += 2 {
+			check.Set(x, y, true)
+		}
+	}
+	out["checkerboard"] = check
+
+	stripes := NewBinary(191, 8)
+	for x := 0; x < 191; x += 3 {
+		for y := 0; y < 8; y++ {
+			stripes.Set(x, y, true)
+		}
+	}
+	out["stripes"] = stripes
+
+	return out
+}
+
+func toShadow(b *Binary) *shadowBin {
+	s := newShadow(b.W, b.H)
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			s.pix[y*s.w+x] = b.At(x, y)
+		}
+	}
+	return s
+}
+
+func TestDiffComponentsAdversarial(t *testing.T) {
+	for name, b := range adversarialImages() {
+		s := toShadow(b)
+		for _, minArea := range []int{1, 3} {
+			want := refComponents(s, minArea)
+			for _, workers := range testWorkerCounts {
+				got := ComponentsW(b, minArea, workers)
+				checkComponents(t, name, got, want)
+			}
+		}
+		// ColProfile on the same shapes, against the per-pixel count.
+		cp := ColProfile(b)
+		for x := 0; x < b.W; x++ {
+			n := 0
+			for y := 0; y < b.H; y++ {
+				if s.at(x, y) {
+					n++
+				}
+			}
+			if cp[x] != n {
+				t.Fatalf("%s: ColProfile[%d]=%d want %d", name, x, cp[x], n)
+			}
+		}
+	}
+}
+
+// TestDiffFromImage pins the typed fast paths of FromImage to the generic
+// color.GrayModel conversion, including non-zero bounds origins.
+func TestDiffFromImage(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	bounds := image.Rect(3, 5, 3+61, 5+17)
+
+	gray := image.NewGray(bounds)
+	for i := range gray.Pix {
+		gray.Pix[i] = uint8(rng.Intn(256))
+	}
+	rgba := image.NewRGBA(bounds)
+	for i := range rgba.Pix {
+		rgba.Pix[i] = uint8(rng.Intn(256))
+	}
+	for i := 3; i < len(rgba.Pix); i += 4 {
+		rgba.Pix[i] = 255 // opaque, like any decoded picture
+	}
+
+	for name, img := range map[string]image.Image{"gray": gray, "rgba": rgba} {
+		got := FromImage(img)
+		b := img.Bounds()
+		for y := 0; y < got.H; y++ {
+			for x := 0; x < got.W; x++ {
+				want := color.GrayModel.Convert(img.At(b.Min.X+x, b.Min.Y+y)).(color.Gray).Y
+				if got.Pix[y*got.W+x] != want {
+					t.Fatalf("%s: FromImage(%d,%d)=%d want %d", name, x, y, got.Pix[y*got.W+x], want)
+				}
+			}
+		}
+	}
+}
+
+// refOtsu is the textbook single-histogram Otsu scan, structured exactly like
+// the original implementation so the banked version must match bit for bit.
+func refOtsu(g *Gray) uint8 {
+	total := len(g.Pix)
+	if total == 0 {
+		return 128
+	}
+	var hist [256]int
+	for _, v := range g.Pix {
+		hist[v]++
+	}
+	var sum float64
+	for i, n := range hist {
+		sum += float64(i) * float64(n)
+	}
+	var sumB, wB float64
+	bestVar, best := -1.0, 128
+	for tt := 0; tt < 256; tt++ {
+		wB += float64(hist[tt])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(tt) * float64(hist[tt])
+		mB := sumB / wB
+		mF := (sum - sumB) / wF
+		v := wB * wF * (mB - mF) * (mB - mF)
+		if v > bestVar {
+			bestVar = v
+			best = tt
+		}
+	}
+	return uint8(geom.Clamp(best+1, 1, 255))
+}
+
+func grayCases(rng *rand.Rand) map[string]*Gray {
+	out := map[string]*Gray{}
+
+	uni := NewGray(131, 41)
+	for i := range uni.Pix {
+		uni.Pix[i] = uint8(rng.Intn(256))
+	}
+	out["uniform-random"] = uni
+
+	// Document-like bimodal: mostly paper with ink strokes.
+	doc := NewGray(320, 200)
+	for i := range doc.Pix {
+		if rng.Intn(10) == 0 {
+			doc.Pix[i] = uint8(rng.Intn(60))
+		} else {
+			doc.Pix[i] = uint8(200 + rng.Intn(56))
+		}
+	}
+	out["document"] = doc
+
+	// Pure black/white saturates the register-counted chunk paths.
+	bw := NewGray(257, 77)
+	for i := range bw.Pix {
+		if rng.Intn(5) == 0 {
+			bw.Pix[i] = 0
+		} else {
+			bw.Pix[i] = 255
+		}
+	}
+	out["black-white"] = bw
+
+	// Nearly uniform: one dissenting pixel, ragged length.
+	near := NewGray(63, 5)
+	for i := range near.Pix {
+		near.Pix[i] = 180
+	}
+	near.Pix[len(near.Pix)-1] = 20
+	out["near-uniform"] = near
+
+	return out
+}
+
+func TestDiffOtsu(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for name, g := range grayCases(rng) {
+		want := refOtsu(g)
+		for _, workers := range testWorkerCounts {
+			if got := OtsuThresholdW(g, workers); got != want {
+				t.Fatalf("%s: OtsuThresholdW(workers=%d)=%d want %d", name, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestDiffThresholdWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for name, g := range grayCases(rng) {
+		thr := OtsuThreshold(g)
+		base := ThresholdW(g, thr, 1)
+		for _, workers := range testWorkerCounts[1:] {
+			got := ThresholdW(g, thr, workers)
+			if !reflect.DeepEqual(got.Words, base.Words) {
+				t.Fatalf("%s: ThresholdW(workers=%d) differs from sequential", name, workers)
+			}
+		}
+		// And against the per-pixel definition.
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				want := g.Pix[y*g.W+x] < thr
+				if base.At(x, y) != want {
+					t.Fatalf("%s: Threshold(%d,%d)=%v want %v", name, x, y, base.At(x, y), want)
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math/bits"
 
 	"tdmagic/internal/geom"
+	"tdmagic/internal/parallel"
 )
 
 // Gray is a dense 8-bit grayscale image. 0 is black, 255 is white.
@@ -27,11 +28,17 @@ type Gray struct {
 
 // NewGray returns a Gray of the given size filled with white (255).
 func NewGray(w, h int) *Gray {
-	g := &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+	g := newGrayNoFill(w, h)
 	for i := range g.Pix {
 		g.Pix[i] = 255
 	}
 	return g
+}
+
+// newGrayNoFill returns a zero-valued Gray for callers that overwrite every
+// pixel before the image escapes.
+func newGrayNoFill(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
 }
 
 // At returns the pixel at (x, y); out-of-bounds reads return white.
@@ -66,7 +73,7 @@ func (g *Gray) Crop(r geom.Rect) *Gray {
 	if r.Empty() {
 		return NewGray(0, 0)
 	}
-	out := NewGray(r.W(), r.H())
+	out := newGrayNoFill(r.W(), r.H())
 	for y := 0; y < out.H; y++ {
 		src := (r.Y0+y)*g.W + r.X0
 		copy(out.Pix[y*out.W:(y+1)*out.W], g.Pix[src:src+out.W])
@@ -76,10 +83,10 @@ func (g *Gray) Crop(r geom.Rect) *Gray {
 
 // ScaleTo returns g resampled to w×h using nearest-neighbour interpolation.
 func (g *Gray) ScaleTo(w, h int) *Gray {
-	out := NewGray(w, h)
 	if g.W == 0 || g.H == 0 || w == 0 || h == 0 {
-		return out
+		return NewGray(w, h)
 	}
+	out := newGrayNoFill(w, h)
 	for y := 0; y < h; y++ {
 		sy := y * g.H / h
 		for x := 0; x < w; x++ {
@@ -103,11 +110,36 @@ func (g *Gray) ToImage() *image.Gray {
 // pixel.
 func FromImage(img image.Image) *Gray {
 	b := img.Bounds()
-	g := NewGray(b.Dx(), b.Dy())
-	for y := 0; y < g.H; y++ {
-		for x := 0; x < g.W; x++ {
-			c := color.GrayModel.Convert(img.At(b.Min.X+x, b.Min.Y+y)).(color.Gray)
-			g.Pix[y*g.W+x] = c.Y
+	g := newGrayNoFill(b.Dx(), b.Dy())
+	switch src := img.(type) {
+	case *image.Gray:
+		// Already 8-bit gray (the common PNG case): copy rows directly
+		// instead of round-tripping every pixel through the color
+		// interfaces — same bytes, an order of magnitude cheaper.
+		for y := 0; y < g.H; y++ {
+			copy(g.Pix[y*g.W:(y+1)*g.W], src.Pix[src.PixOffset(b.Min.X, b.Min.Y+y):])
+		}
+	case *image.RGBA:
+		// The same luma weights color.GrayModel uses (JFIF, 16-bit
+		// fixed point), applied straight to the raw RGBA bytes.
+		for y := 0; y < g.H; y++ {
+			row := src.Pix[src.PixOffset(b.Min.X, b.Min.Y+y):]
+			for x := 0; x < g.W; x++ {
+				// Match color.GrayModel bit for bit: it works on 16-bit
+				// channels (v | v<<8, i.e. v*0x101) and shifts the JFIF
+				// weighted sum down by 24.
+				r := uint32(row[x*4]) * 0x101
+				gg := uint32(row[x*4+1]) * 0x101
+				bb := uint32(row[x*4+2]) * 0x101
+				g.Pix[y*g.W+x] = uint8((19595*r + 38470*gg + 7471*bb + 1<<15) >> 24)
+			}
+		}
+	default:
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				c := color.GrayModel.Convert(img.At(b.Min.X+x, b.Min.Y+y)).(color.Gray)
+				g.Pix[y*g.W+x] = c.Y
+			}
 		}
 	}
 	return g
@@ -220,18 +252,34 @@ func (b *Binary) Crop(r geom.Rect) *Binary {
 	out := NewBinary(r.W(), r.H())
 	off := uint(r.X0) & 63
 	w0 := r.X0 >> 6
+	if off == 0 {
+		// Word-aligned crop: each output row is a straight copy of a
+		// source row slice.
+		n := out.Stride
+		if w0+n > b.Stride {
+			n = b.Stride - w0
+		}
+		for y := 0; y < out.H; y++ {
+			copy(out.Words[y*out.Stride:y*out.Stride+n], b.Words[(r.Y0+y)*b.Stride+w0:])
+		}
+		out.maskPadding()
+		return out
+	}
+	// Unaligned: shift-merge adjacent source words. The bounds regimes are
+	// hoisted out of the word loop; trailing output words past the source
+	// row stay at their freshly allocated zero.
+	full := b.Stride - w0 - 1 // j with both src[w0+j] and src[w0+j+1] in range
+	if full > out.Stride {
+		full = out.Stride
+	}
 	for y := 0; y < out.H; y++ {
 		src := b.Words[(r.Y0+y)*b.Stride : (r.Y0+y+1)*b.Stride]
 		dst := out.Words[y*out.Stride : (y+1)*out.Stride]
-		for j := range dst {
-			var w uint64
-			if w0+j < len(src) {
-				w = src[w0+j] >> off
-			}
-			if off != 0 && w0+j+1 < len(src) {
-				w |= src[w0+j+1] << (64 - off)
-			}
-			dst[j] = w
+		for j := 0; j < full; j++ {
+			dst[j] = src[w0+j]>>off | src[w0+j+1]<<(64-off)
+		}
+		if full < out.Stride {
+			dst[full] = src[b.Stride-1] >> off
 		}
 	}
 	out.maskPadding()
@@ -302,7 +350,29 @@ func (b *Binary) ToGray() *Gray {
 // gray value is strictly below thr (i.e. the pixel carries ink). The packed
 // words are written directly, one 64-pixel word at a time.
 func Threshold(g *Gray, thr uint8) *Binary {
+	return ThresholdW(g, thr, 1)
+}
+
+// ThresholdW is Threshold with the rows fanned out over workers. The rows
+// are independent, so the result is identical for any worker count.
+func ThresholdW(g *Gray, thr uint8, workers int) *Binary {
 	b := NewBinary(g.W, g.H)
+	workers = parallel.Resolve(workers)
+	if workers <= 1 || g.H < 64 {
+		thresholdRows(g, b, thr, 0, g.H)
+		return b
+	}
+	if workers > g.H {
+		workers = g.H
+	}
+	parallel.For(workers, workers, func(i int) {
+		thresholdRows(g, b, thr, i*g.H/workers, (i+1)*g.H/workers)
+	})
+	return b
+}
+
+// thresholdRows binarizes rows [y0, y1) of g into b.
+func thresholdRows(g *Gray, b *Binary, thr uint8, y0, y1 int) {
 	const (
 		ones uint64 = 0x0101010101010101
 		hi   uint64 = 0x8080808080808080
@@ -312,9 +382,16 @@ func Threshold(g *Gray, thr uint8) *Binary {
 		mm uint64 = 0x0002040810204081
 	)
 	t7 := uint64(thr&0x7f) * ones
-	msbSet := thr >= 128
+	// sel is all-ones when thr >= 128, folding the two MSB cases of the
+	// compare into one branchless expression: pixels with MSB clear are
+	// then automatically below thr, pixels with MSB set compare low bits.
+	var sel uint64
+	if thr >= 128 {
+		sel = ^uint64(0)
+	}
+	nsel := ^sel
 	t32 := uint32(thr)
-	for y := 0; y < g.H; y++ {
+	for y := y0; y < y1; y++ {
 		src := g.Pix[y*g.W : (y+1)*g.W]
 		row := b.Words[y*b.Stride : (y+1)*b.Stride]
 		x, wi := 0, 0
@@ -325,13 +402,13 @@ func Threshold(g *Gray, thr uint8) *Binary {
 				// byte MSB clear exactly when (v&0x7f) < (thr&0x7f), and
 				// the v MSBs resolve the 128 boundary.
 				x8 := binary.LittleEndian.Uint64(src[x+k:])
-				loLT := ^((x8 | hi) - t7) & hi
-				var lt uint64
-				if msbSet {
-					lt = (^x8 & hi) | (loLT & x8)
-				} else {
-					lt = loLT & ^x8
+				if x8 == ^uint64(0) {
+					// All-white chunk: 255 is never below a uint8
+					// threshold, so these 8 pixels contribute no ink.
+					continue
 				}
+				loLT := ^((x8 | hi) - t7) & hi
+				lt := (loLT & (x8 ^ nsel)) | (sel & hi & ^x8)
 				w |= (lt * mm) >> 56 << uint(k)
 			}
 			row[wi] = w
@@ -346,20 +423,78 @@ func Threshold(g *Gray, thr uint8) *Binary {
 			row[wi] = w
 		}
 	}
-	return b
 }
 
 // OtsuThreshold computes the Otsu threshold of g: the gray level that
 // maximises the between-class variance of the ink/paper split. It returns a
 // value suitable to pass to Threshold.
 func OtsuThreshold(g *Gray) uint8 {
-	var hist [256]int
-	for _, v := range g.Pix {
-		hist[v]++
+	return OtsuThresholdW(g, 1)
+}
+
+// histogram8 accumulates the gray histogram of pix into eight interleaved
+// counter banks, one per byte lane of a 64-bit read. Document images are
+// dominated by a single background value, so a single [256] array serializes
+// on store-forwarding of one hot bucket; giving every lane its own bank
+// keeps eight increment chains in flight. The banks are summed by the
+// caller, so the combined counts are exactly the plain histogram.
+func histogram8(pix []uint8, h *[8][256]uint32) {
+	// Uniform all-white and all-black chunks — the overwhelming majority in
+	// a document scan — are tallied in registers and folded into the banks
+	// afterwards, skipping the memory increments entirely.
+	var white, black uint32
+	i, n := 0, len(pix)
+	for ; i+8 <= n; i += 8 {
+		x8 := binary.LittleEndian.Uint64(pix[i:])
+		if x8 == ^uint64(0) {
+			white++
+			continue
+		}
+		if x8 == 0 {
+			black++
+			continue
+		}
+		h[0][uint8(x8)]++
+		h[1][uint8(x8>>8)]++
+		h[2][uint8(x8>>16)]++
+		h[3][uint8(x8>>24)]++
+		h[4][uint8(x8>>32)]++
+		h[5][uint8(x8>>40)]++
+		h[6][uint8(x8>>48)]++
+		h[7][uint8(x8>>56)]++
 	}
+	for ; i < n; i++ {
+		h[0][pix[i]]++
+	}
+	h[0][255] += 8 * white
+	h[0][0] += 8 * black
+}
+
+// OtsuThresholdW is OtsuThreshold with the histogram pass fanned out over
+// workers. Partial histograms are summed with integer addition, so the
+// result is identical for any worker count.
+func OtsuThresholdW(g *Gray, workers int) uint8 {
 	total := len(g.Pix)
 	if total == 0 {
 		return 128
+	}
+	workers = parallel.Resolve(workers)
+	if total < 1<<16 {
+		workers = 1
+	} else if workers > 8 {
+		workers = 8
+	}
+	parts := make([][8][256]uint32, workers)
+	parallel.For(workers, workers, func(i int) {
+		histogram8(g.Pix[i*total/workers:(i+1)*total/workers], &parts[i])
+	})
+	var hist [256]int
+	for p := range parts {
+		for bank := 0; bank < 8; bank++ {
+			for v := 0; v < 256; v++ {
+				hist[v] += int(parts[p][bank][v])
+			}
+		}
 	}
 	var sum float64
 	for i, n := range hist {

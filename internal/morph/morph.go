@@ -17,9 +17,76 @@
 package morph
 
 import (
+	"sync"
+
 	"tdmagic/internal/geom"
 	"tdmagic/internal/imgproc"
+	"tdmagic/internal/parallel"
 )
+
+// imgPool recycles the smear scratch images. Every word of a pooled image is
+// overwritten before it is read (the shift kernels write their full
+// destination), so stale content — including dirty padding bits — never
+// leaks. The pool is what keeps a full contour extraction at zero
+// steady-state heap growth; it is shared by all goroutines translating
+// through one process, matching the pipeline's concurrent-use contract.
+var imgPool sync.Pool
+
+// getImage returns an owned, possibly-recycled image of the given geometry
+// with undefined content. Callers must fully overwrite it.
+func getImage(w, h int) *imgproc.Binary {
+	stride := (w + 63) / 64
+	need := h * stride
+	if v := imgPool.Get(); v != nil {
+		b := v.(*imgproc.Binary)
+		if cap(b.Words) >= need {
+			b.W, b.H, b.Stride = w, h, stride
+			b.Words = b.Words[:need]
+			return b
+		}
+	}
+	return &imgproc.Binary{W: w, H: h, Stride: stride, Words: make([]uint64, need)}
+}
+
+// putImage returns an image to the scratch pool. The caller must not touch
+// it afterwards.
+func putImage(b *imgproc.Binary) {
+	if b != nil {
+		imgPool.Put(b)
+	}
+}
+
+// copyImage returns an owned copy of b from the pool.
+func copyImage(b *imgproc.Binary) *imgproc.Binary {
+	c := getImage(b.W, b.H)
+	copy(c.Words, b.Words)
+	return c
+}
+
+// forWords fans fn out over contiguous word ranges of an n-word image.
+// Chunks are fixed by the worker count and every index is written by exactly
+// one chunk, so the result is identical for any worker count; small images
+// run inline — the fan-out barrier would cost more than the pass itself.
+func forWords(workers, n int, fn func(i0, i1 int)) {
+	if workers <= 1 || n < 1<<14 {
+		fn(0, n)
+		return
+	}
+	parallel.For(workers, workers, func(i int) {
+		fn(i*n/workers, (i+1)*n/workers)
+	})
+}
+
+// forRows is forWords over row ranges.
+func forRows(workers, h, stride int, fn func(y0, y1 int)) {
+	if workers <= 1 || h*stride < 1<<14 {
+		fn(0, h)
+		return
+	}
+	parallel.For(workers, workers, func(i int) {
+		fn(i*h/workers, (i+1)*h/workers)
+	})
+}
 
 // SE is a flat rectangular structuring element, centred. W and H must be
 // >= 1. Even-sized extents are biased toward the top-left: an element of
@@ -41,9 +108,22 @@ func Rect(w, h int) SE { return SE{W: w, H: h} }
 // Dilate returns the dilation of b by se: a pixel is set in the result when
 // any pixel under the (centred) element is set in b.
 func Dilate(b *imgproc.Binary, se SE) *imgproc.Binary {
-	// Separable: dilate horizontally then vertically.
-	tmp := dilateH(b, se.W)
-	return dilateV(tmp, se.H)
+	return dilateW(b, se, 1)
+}
+
+func dilateW(b *imgproc.Binary, se SE, workers int) *imgproc.Binary {
+	// Separable: dilate horizontally then vertically. Line elements skip
+	// the unit-length direction — lineOp with n <= 1 is a full-image copy.
+	if se.H <= 1 {
+		return dilateH(b, se.W, workers) // W <= 1 copies, preserving ownership
+	}
+	if se.W <= 1 {
+		return dilateV(b, se.H, workers)
+	}
+	tmp := dilateH(b, se.W, workers)
+	res := dilateV(tmp, se.H, workers)
+	putImage(tmp)
+	return res
 }
 
 // Erode returns the erosion of b by se: a pixel is set in the result only
@@ -51,178 +131,254 @@ func Dilate(b *imgproc.Binary, se SE) *imgproc.Binary {
 // the image are treated as clear, so erosion shrinks structures touching the
 // border.
 func Erode(b *imgproc.Binary, se SE) *imgproc.Binary {
-	tmp := erodeH(b, se.W)
-	return erodeV(tmp, se.H)
+	return erodeW(b, se, 1)
+}
+
+func erodeW(b *imgproc.Binary, se SE, workers int) *imgproc.Binary {
+	if se.H <= 1 {
+		return erodeH(b, se.W, workers)
+	}
+	if se.W <= 1 {
+		return erodeV(b, se.H, workers)
+	}
+	tmp := erodeH(b, se.W, workers)
+	res := erodeV(tmp, se.H, workers)
+	putImage(tmp)
+	return res
 }
 
 // Open returns the opening of b by se (erosion then dilation). Opening with a
 // vertical line element keeps only structures at least as tall as the
 // element.
 func Open(b *imgproc.Binary, se SE) *imgproc.Binary {
-	return Dilate(Erode(b, se), se)
+	return openW(b, se, 1)
+}
+
+func openW(b *imgproc.Binary, se SE, workers int) *imgproc.Binary {
+	tmp := erodeW(b, se, workers)
+	res := dilateW(tmp, se, workers)
+	putImage(tmp)
+	return res
 }
 
 // Close returns the closing of b by se (dilation then erosion). Closing with
 // a vertical line element bridges vertical gaps shorter than the element —
 // this is what turns dashed annotation lines into solid ones.
 func Close(b *imgproc.Binary, se SE) *imgproc.Binary {
-	return Erode(Dilate(b, se), se)
+	return closeW(b, se, 1)
 }
 
-// shiftColsLeftInto writes src shifted k columns to the left into dst:
-// dst(x, y) = src(x+k, y). Pixels pulled from beyond the right border are
-// clear. dst and src must have identical geometry and must not alias.
-func shiftColsLeftInto(dst, src *imgproc.Binary, k int) {
-	ws, bs := k>>6, uint(k)&63
-	stride := src.Stride
-	for y := 0; y < src.H; y++ {
-		srow := src.Words[y*stride : (y+1)*stride]
-		drow := dst.Words[y*stride : (y+1)*stride]
-		for j := range drow {
-			var w uint64
-			if j+ws < stride {
-				w = srow[j+ws] >> bs
-			}
-			if bs != 0 && j+ws+1 < stride {
-				w |= srow[j+ws+1] << (64 - bs)
-			}
-			drow[j] = w
-		}
-	}
-	// Source padding bits are zero, so the invariant is preserved.
-}
-
-// shiftColsRightInto writes src shifted k columns to the right into dst:
-// dst(x, y) = src(x-k, y); pixels pulled from beyond the left border are
-// clear. Ink shifted past the right border is masked off.
-func shiftColsRightInto(dst, src *imgproc.Binary, k int) {
-	ws, bs := k>>6, uint(k)&63
-	stride := src.Stride
-	for y := 0; y < src.H; y++ {
-		srow := src.Words[y*stride : (y+1)*stride]
-		drow := dst.Words[y*stride : (y+1)*stride]
-		for j := stride - 1; j >= 0; j-- {
-			var w uint64
-			if j-ws >= 0 {
-				w = srow[j-ws] << bs
-			}
-			if bs != 0 && j-ws-1 >= 0 {
-				w |= srow[j-ws-1] >> (64 - bs)
-			}
-			drow[j] = w
-		}
-	}
-	if tail := uint(src.W) & 63; tail != 0 {
-		mask := uint64(1)<<tail - 1
-		for y := 0; y < src.H; y++ {
-			dst.Words[y*stride+stride-1] &= mask
-		}
-	}
-}
-
-// shiftRowsUpInto writes src shifted k rows up into dst:
-// dst(x, y) = src(x, y+k); rows pulled from below the image are clear.
-func shiftRowsUpInto(dst, src *imgproc.Binary, k int) {
-	stride := src.Stride
-	n := (src.H - k) * stride
-	if n < 0 {
-		n = 0 // element taller than the image: everything shifts out
-	}
-	copy(dst.Words[:n], src.Words[len(src.Words)-n:])
-	for i := n; i < len(dst.Words); i++ {
-		dst.Words[i] = 0
-	}
-}
-
-// shiftRowsDownInto writes src shifted k rows down into dst:
-// dst(x, y) = src(x, y-k); rows pulled from above the image are clear.
-func shiftRowsDownInto(dst, src *imgproc.Binary, k int) {
-	stride := src.Stride
-	n := (src.H - k) * stride
-	if n < 0 {
-		n = 0
-	}
-	copy(dst.Words[len(dst.Words)-n:], src.Words[:n])
-	for i := 0; i < len(dst.Words)-n; i++ {
-		dst.Words[i] = 0
-	}
-}
-
-// smear returns the directed window reduction of b over m consecutive
-// pixels including x itself: for fwd smears the window is [x, x+m-1] (bits
-// pulled in by shiftColsLeftInto / shiftRowsUpInto), for backward smears it
-// is [x-m+1, x] (shiftColsRightInto / shiftRowsDownInto). The reduction is
-// OR for dilation (and=false) and AND for erosion (and=true). Coverage
-// doubles each pass, so m-wide windows cost ceil(log2 m) shifted word
-// combines. Pixels pulled from beyond the border are clear — for OR they
-// contribute nothing (the reference dilation ignores clipped pixels), for
-// AND they force a miss (the reference erosion treats clipped pixels as
-// clear), so both border semantics fall out of the zero fill.
-func smear(b *imgproc.Binary, m int, and bool, shift func(dst, src *imgproc.Binary, k int)) *imgproc.Binary {
-	res := b.Clone()
-	if m <= 1 {
-		return res
-	}
-	tmp := imgproc.NewBinary(b.W, b.H)
-	for cov := 1; cov < m; {
-		step := cov
-		if cov+step > m {
-			step = m - cov
-		}
-		shift(tmp, res, step)
-		if and {
-			for i, w := range tmp.Words {
-				res.Words[i] &= w
-			}
-		} else {
-			for i, w := range tmp.Words {
-				res.Words[i] |= w
-			}
-		}
-		cov += step
-	}
+func closeW(b *imgproc.Binary, se SE, workers int) *imgproc.Binary {
+	tmp := dilateW(b, se, workers)
+	res := erodeW(tmp, se, workers)
+	putImage(tmp)
 	return res
 }
 
-// lineOp applies a 1D window reduction with the centred element of length n:
-// the window [x-left, x+right] splits into a backward smear over
-// [x-left, x] and a forward smear over [x, x+right]; their union is the
-// window, so combining them (OR or AND — both windows contain x) yields the
-// exact per-pixel reference result, border clipping included.
-func lineOp(b *imgproc.Binary, n int, and bool, fwd, back func(dst, src *imgproc.Binary, k int)) *imgproc.Binary {
+// hLineOp applies the centred length-n horizontal window reduction in a
+// single pass over the image. The centred window [x-left, x+right] is the
+// forward window [x, x+n-1] evaluated at x-left, so each row is smeared
+// forward in a per-worker buffer with logarithmic in-register shift-combines
+// (coverage doubles each pass) and then stored through one final shift — one
+// load and one store per image word, no intermediate images. The buffer is
+// padded with pw leading zero words so the smear also produces the window
+// values at negative positions that the shift reads back for pixels near the
+// left border. The reduction is OR for dilation (and=false) and AND for
+// erosion (and=true); bits beyond the row borders are clear, which gives
+// both reference border semantics (OR ignores clipped pixels, AND treats
+// them as misses).
+func hLineOp(b *imgproc.Binary, n int, and bool, workers int) *imgproc.Binary {
 	if n <= 1 {
-		return b.Clone()
+		return copyImage(b)
 	}
 	left := (n - 1) / 2
-	right := n - 1 - left
-	res := smear(b, left+1, and, back)
-	other := smear(b, right+1, and, fwd)
-	if and {
-		for i, w := range other.Words {
-			res.Words[i] &= w
-		}
-	} else {
-		for i, w := range other.Words {
-			res.Words[i] |= w
-		}
+	res := getImage(b.W, b.H)
+	stride := b.Stride
+	tail := uint(b.W) & 63
+	tailMask := ^uint64(0)
+	if tail != 0 {
+		tailMask = uint64(1)<<tail - 1
 	}
+	pw := left>>6 + 1 // leading pad words covering positions [-64·pw, 0)
+	s := pw*64 - left // dst bit x reads padded smear bit x+s, s >= 1
+	ws, bs := s>>6, uint(s)&63
+	plen := stride + pw + 1 // one trailing zero word for uniform word-pair reads
+	forRows(workers, b.H, stride, func(y0, y1 int) {
+		buf := make([]uint64, plen)
+		for y := y0; y < y1; y++ {
+			for i := 0; i < pw; i++ {
+				buf[i] = 0
+			}
+			copy(buf[pw:], b.Words[y*stride:(y+1)*stride])
+			buf[plen-1] = 0
+			// The trailing pad word stays zero through the smear: positions
+			// at and past the row width reduce over virtual clear pixels
+			// only. Shifts by 64 are defined as 0 in Go, so word-aligned
+			// offsets need no special path anywhere below.
+			rowSmearFwd(buf[:plen-1], n-1, and)
+			drow := res.Words[y*stride : (y+1)*stride]
+			for j := range drow {
+				drow[j] = buf[j+ws]>>bs | buf[j+ws+1]<<(64-bs)
+			}
+			// The shift can expose smear values in the padding positions;
+			// mask to keep the padding-bits-zero invariant.
+			drow[stride-1] &= tailMask
+		}
+	})
 	return res
 }
 
-func dilateH(b *imgproc.Binary, n int) *imgproc.Binary {
-	return lineOp(b, n, false, shiftColsLeftInto, shiftColsRightInto)
+// rowSmearFwd reduces each pixel of the packed row over the window
+// [x, x+dist], doubling coverage each pass. Pixel x+1 is the next-higher
+// bit, so looking forward means combining down-shifted copies.
+func rowSmearFwd(row []uint64, dist int, and bool) {
+	for cov := 1; cov <= dist; {
+		step := cov
+		if cov+step > dist+1 {
+			step = dist + 1 - cov
+		}
+		rowShiftDownCombine(row, step, and)
+		cov += step
+	}
 }
 
-func dilateV(b *imgproc.Binary, n int) *imgproc.Binary {
-	return lineOp(b, n, false, shiftRowsUpInto, shiftRowsDownInto)
+// rowShiftDownCombine folds row OP (row >> k bits, carrying across words)
+// into row in place, iterating low-to-high.
+func rowShiftDownCombine(row []uint64, k int, and bool) {
+	ws, bs := k>>6, uint(k)&63
+	n := len(row)
+	if ws == 0 && n > 0 {
+		if and {
+			for j := 0; j < n-1; j++ {
+				row[j] &= row[j]>>bs | row[j+1]<<(64-bs)
+			}
+			row[n-1] &= row[n-1] >> bs
+		} else {
+			for j := 0; j < n-1; j++ {
+				row[j] |= row[j]>>bs | row[j+1]<<(64-bs)
+			}
+			row[n-1] |= row[n-1] >> bs
+		}
+		return
+	}
+	hi := max(n-ws-1, 0)
+	if and {
+		for j := 0; j < hi; j++ {
+			row[j] &= row[j+ws]>>bs | row[j+ws+1]<<(64-bs)
+		}
+		if ws < n {
+			row[n-ws-1] &= row[n-1] >> bs
+		}
+		for j := max(n-ws, 0); j < n; j++ {
+			row[j] = 0
+		}
+	} else {
+		for j := 0; j < hi; j++ {
+			row[j] |= row[j+ws]>>bs | row[j+ws+1]<<(64-bs)
+		}
+		if ws < n {
+			row[n-ws-1] |= row[n-1] >> bs
+		}
+	}
 }
 
-func erodeH(b *imgproc.Binary, n int) *imgproc.Binary {
-	return lineOp(b, n, true, shiftColsLeftInto, shiftColsRightInto)
+// vLineOp applies the centred length-n vertical window reduction using the
+// van Herk/Gil-Werman sliding-window algorithm per word-column: each padded
+// column is split into blocks of n rows, a backward (suffix) and forward
+// (prefix) running reduction is computed per block, and every output row is
+// then the combine of one suffix and one prefix entry — three passes per
+// column word regardless of n, versus O(log n) full-image passes for the
+// shift-smear formulation. Virtual rows beyond the image are clear, giving
+// the same border semantics as the horizontal kernels.
+func vLineOp(b *imgproc.Binary, n int, and bool, workers int) *imgproc.Binary {
+	if n <= 1 {
+		return copyImage(b)
+	}
+	res := getImage(b.W, b.H)
+	h, stride := b.H, b.Stride
+	up := (n - 1) / 2 // window [y-up, y+down]
+	pn := h + n - 1   // padded column: index p = y+up, y in [-up, h-1+(n-1-up)]
+	nb := (pn + n - 1) / n
+	plen := nb * n
+	workers = parallel.Resolve(workers)
+	if workers > 1 && h*stride < 1<<14 {
+		workers = 1
+	}
+	scratch := make([][]uint64, workers)
+	parallel.ForWorker(workers, stride, func(worker, j int) {
+		buf := scratch[worker]
+		if buf == nil {
+			buf = make([]uint64, 3*plen)
+			scratch[worker] = buf
+		}
+		col, suf, pre := buf[:plen], buf[plen:2*plen], buf[2*plen:]
+		for i := 0; i < up; i++ {
+			col[i] = 0
+		}
+		for i := up + h; i < plen; i++ {
+			col[i] = 0
+		}
+		for y := 0; y < h; y++ {
+			col[up+y] = b.Words[y*stride+j]
+		}
+		for blk := 0; blk < plen; blk += n {
+			end := blk + n - 1
+			acc := col[end]
+			suf[end] = acc
+			if and {
+				for i := end - 1; i >= blk; i-- {
+					acc &= col[i]
+					suf[i] = acc
+				}
+				acc = col[blk]
+				pre[blk] = acc
+				for i := blk + 1; i <= end; i++ {
+					acc &= col[i]
+					pre[i] = acc
+				}
+			} else {
+				for i := end - 1; i >= blk; i-- {
+					acc |= col[i]
+					suf[i] = acc
+				}
+				acc = col[blk]
+				pre[blk] = acc
+				for i := blk + 1; i <= end; i++ {
+					acc |= col[i]
+					pre[i] = acc
+				}
+			}
+		}
+		// Window of y in padded coords is [y, y+n-1]: exactly n wide, so it
+		// spans one block (suffix == prefix == window) or two adjacent ones
+		// (suffix tail + prefix head partition it exactly).
+		if and {
+			for y := 0; y < h; y++ {
+				res.Words[y*stride+j] = suf[y] & pre[y+n-1]
+			}
+		} else {
+			for y := 0; y < h; y++ {
+				res.Words[y*stride+j] = suf[y] | pre[y+n-1]
+			}
+		}
+	})
+	return res
 }
 
-func erodeV(b *imgproc.Binary, n int) *imgproc.Binary {
-	return lineOp(b, n, true, shiftRowsUpInto, shiftRowsDownInto)
+func dilateH(b *imgproc.Binary, n, workers int) *imgproc.Binary {
+	return hLineOp(b, n, false, workers)
+}
+
+func dilateV(b *imgproc.Binary, n, workers int) *imgproc.Binary {
+	return vLineOp(b, n, false, workers)
+}
+
+func erodeH(b *imgproc.Binary, n, workers int) *imgproc.Binary {
+	return hLineOp(b, n, true, workers)
+}
+
+func erodeV(b *imgproc.Binary, n, workers int) *imgproc.Binary {
+	return vLineOp(b, n, true, workers)
 }
 
 // VerticalContours extracts vertical structures from b: it first closes with
@@ -233,14 +389,25 @@ func erodeV(b *imgproc.Binary, n int) *imgproc.Binary {
 // line-shaped (text blobs, filled areas) and are dropped; maxThick <= 0
 // disables the filter.
 func VerticalContours(b *imgproc.Binary, bridge, minLen, maxThick int) []geom.VSeg {
+	return VerticalContoursW(b, bridge, minLen, maxThick, 1)
+}
+
+// VerticalContoursW is VerticalContours with the morphology smears and the
+// component labelling tiled over workers goroutines (<= 1 runs inline). The
+// result is bit-identical for any worker count.
+func VerticalContoursW(b *imgproc.Binary, bridge, minLen, maxThick, workers int) []geom.VSeg {
 	work := b
 	if bridge > 1 {
-		work = Close(b, VLine(bridge))
+		work = closeW(b, VLine(bridge), workers)
 	}
-	work = Open(work, VLine(minLen))
-	comps := imgproc.Components(work, minLen)
-	segs := make([]geom.VSeg, 0, len(comps))
-	for _, c := range comps {
+	opened := openW(work, VLine(minLen), workers)
+	if work != b {
+		putImage(work)
+	}
+	regs := imgproc.RegionsW(opened, minLen, workers)
+	putImage(opened)
+	segs := make([]geom.VSeg, 0, len(regs))
+	for _, c := range regs {
 		if maxThick > 0 && c.Box.W() > maxThick {
 			continue
 		}
@@ -256,14 +423,23 @@ func VerticalContours(b *imgproc.Binary, bridge, minLen, maxThick int) []geom.VS
 // HorizontalContours is the horizontal counterpart of VerticalContours;
 // components taller than maxThick are dropped.
 func HorizontalContours(b *imgproc.Binary, bridge, minLen, maxThick int) []geom.HSeg {
+	return HorizontalContoursW(b, bridge, minLen, maxThick, 1)
+}
+
+// HorizontalContoursW is HorizontalContours tiled over workers goroutines.
+func HorizontalContoursW(b *imgproc.Binary, bridge, minLen, maxThick, workers int) []geom.HSeg {
 	work := b
 	if bridge > 1 {
-		work = Close(b, HLine(bridge))
+		work = closeW(b, HLine(bridge), workers)
 	}
-	work = Open(work, HLine(minLen))
-	comps := imgproc.Components(work, minLen)
-	segs := make([]geom.HSeg, 0, len(comps))
-	for _, c := range comps {
+	opened := openW(work, HLine(minLen), workers)
+	if work != b {
+		putImage(work)
+	}
+	regs := imgproc.RegionsW(opened, minLen, workers)
+	putImage(opened)
+	segs := make([]geom.HSeg, 0, len(regs))
+	for _, c := range regs {
 		if maxThick > 0 && c.Box.H() > maxThick {
 			continue
 		}

@@ -1,0 +1,42 @@
+package ocr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGridDistBounded pins the early-abort distance to the unbounded
+// reference: with a generous limit the values must be identical, and an
+// abort may only ever happen when the full distance would lose strictly.
+func TestGridDistBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(200)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		pen := rng.Float64() * 0.5
+		want := gridDist(a, b) + pen
+
+		if got, ok := gridDistBounded(a, b, pen, math.Inf(1)); !ok || got != want {
+			t.Fatalf("n=%d unbounded: got (%v,%v) want (%v,true)", n, got, ok, want)
+		}
+		// A limit at exactly the true distance must not abort: ties survive.
+		if got, ok := gridDistBounded(a, b, pen, want); !ok || got != want {
+			t.Fatalf("n=%d tie limit: got (%v,%v) want (%v,true)", n, got, ok, want)
+		}
+		// Any abort against a random limit must be a strict loss.
+		limit := rng.Float64() * want * 1.5
+		got, ok := gridDistBounded(a, b, pen, limit)
+		if ok && got != want {
+			t.Fatalf("n=%d kept but wrong value: got %v want %v", n, got, want)
+		}
+		if !ok && want <= limit {
+			t.Fatalf("n=%d aborted although %v <= limit %v", n, want, limit)
+		}
+	}
+}

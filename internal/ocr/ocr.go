@@ -180,12 +180,20 @@ func (m *Model) classifyGrid(grid []float64, aspect float64) (rune, float64) {
 	best := rune(0)
 	bestDist := 1e18
 	for ch, t := range m.Templates {
-		d := gridDist(grid, t.Grid)
 		ar := aspect / t.Aspect
 		if ar < 1 {
 			ar = 1 / ar
 		}
-		d += 0.35 * (ar - 1) // aspect mismatch penalty
+		pen := 0.35 * (ar - 1) // aspect mismatch penalty
+		if pen > bestDist {
+			// The distance term is non-negative, so this template cannot
+			// win or tie; skipping it never changes the result.
+			continue
+		}
+		d, ok := gridDistBounded(grid, t.Grid, pen, bestDist)
+		if !ok {
+			continue
+		}
 		// Break exact ties by rune so the winner does not depend on map
 		// iteration order: degraded glyphs (empty or shattered grids)
 		// routinely tie several templates, and the result must be
@@ -209,6 +217,34 @@ func gridDist(a, b []float64) float64 {
 		s += d
 	}
 	return s / float64(len(a))
+}
+
+// gridDistBounded computes gridDist(a, b) + pen, aborting early (ok=false)
+// once the partial distance provably exceeds limit. The partial sum is
+// monotone and the final comparison uses the same arithmetic as the caller,
+// so an abort can only happen when the full distance would lose strictly —
+// ties are never dropped and the classification result is bit-identical to
+// the unbounded scan.
+func gridDistBounded(a, b []float64, pen, limit float64) (float64, bool) {
+	n := float64(len(a))
+	s := 0.0
+	for i := 0; i < len(a); {
+		e := i + 32
+		if e > len(a) {
+			e = len(a)
+		}
+		for ; i < e; i++ {
+			d := a[i] - b[i]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		if e < len(a) && s/n+pen > limit {
+			return 0, false
+		}
+	}
+	return s/n + pen, true
 }
 
 // Result is one recognised text box.
@@ -361,6 +397,10 @@ type DetectConfig struct {
 	// MinConf drops clusters whose recognition confidence is below this
 	// (arrow heads and stroke leftovers match no template well).
 	MinConf float64
+	// Workers tiles the component labelling inside one picture: 0 or 1
+	// runs sequentially, < 0 uses every core. The detected boxes are
+	// bit-identical for any value.
+	Workers int
 }
 
 // DefaultDetectConfig returns parameters for the generated pictures.
@@ -396,7 +436,11 @@ func DetectRegions(bw *imgproc.Binary, lines *lad.Result, cfg DetectConfig) []ge
 	for _, run := range imgproc.VRuns(work, 24) {
 		work.ClearRect(run.Rect())
 	}
-	comps := imgproc.Components(work, 2)
+	w := cfg.Workers
+	if w == 0 {
+		w = 1
+	}
+	comps := imgproc.RegionsW(work, 2, w)
 	var boxes []geom.Rect
 	for _, c := range comps {
 		if c.Box.H() < cfg.MinGlyphH || c.Box.H() > cfg.MaxGlyphH || c.Box.W() > 3*cfg.MaxGlyphH {

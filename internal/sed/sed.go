@@ -55,6 +55,11 @@ type Config struct {
 	// can shatter into tens of thousands of single-pixel components and
 	// turn proposal merging quadratic. <= 0 selects DefaultMaxProposals.
 	MaxProposals int
+	// Workers tiles the component labelling inside one picture: 0 or 1
+	// runs sequentially, < 0 uses every core. The proposals are
+	// bit-identical for any value. Not serialised with the model; the
+	// pipeline sets it per call from its IntraWorkers knob.
+	Workers int
 }
 
 // DefaultMaxProposals is the proposal cap used when Config.MaxProposals
@@ -214,7 +219,11 @@ func cleanup(bw *imgproc.Binary, lines *lad.Result, cfg Config) *imgproc.Binary 
 // Propose returns candidate edge boxes from the working image.
 func Propose(bw *imgproc.Binary, lines *lad.Result, cfg Config) []geom.Rect {
 	work := cleanup(bw, lines, cfg)
-	comps := imgproc.Components(work, 4)
+	w := cfg.Workers
+	if w == 0 {
+		w = 1
+	}
+	comps := imgproc.RegionsW(work, 4, w)
 	boxes := make([]geom.Rect, 0, len(comps))
 	areas := make([]int, 0, len(comps))
 	for _, c := range comps {
@@ -589,11 +598,20 @@ func (m *Model) Detect(img *imgproc.Gray, lines *lad.Result) []Detection {
 // pathological picture cannot run past its deadline by more than one
 // proposal pass (itself bounded by Config.MaxProposals).
 func (m *Model) DetectCtx(ctx context.Context, img *imgproc.Gray, lines *lad.Result) ([]Detection, error) {
+	return m.DetectCtxW(ctx, img, lines, m.Cfg.Workers)
+}
+
+// DetectCtxW is DetectCtx with the intra-picture component labelling tiled
+// over workers goroutines (0 or 1 sequential, < 0 every core). Detections
+// are bit-identical for any worker count.
+func (m *Model) DetectCtxW(ctx context.Context, img *imgproc.Gray, lines *lad.Result, workers int) ([]Detection, error) {
 	bw := lines.BW
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	props := Propose(bw, lines, m.Cfg)
+	cfg := m.Cfg
+	cfg.Workers = workers
+	props := Propose(bw, lines, cfg)
 	sc := m.getScratch()
 	defer m.scratch.Put(sc)
 	var dets []Detection
