@@ -1,0 +1,160 @@
+// Benchmarks for the corpus-scale batch engine (PR 7): cold and warm
+// throughput of the streaming file-backed executor with the persistent
+// content-addressed store, plus peak-heap sampling showing residency is
+// bounded by the worker count, not the corpus size. BENCH_07.json records
+// the measured numbers and the regression ceiling ci.sh enforces.
+package tdmagic
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"tdmagic/internal/batch"
+	"tdmagic/internal/store"
+	"tdmagic/internal/tdgen"
+)
+
+// benchWriteCorpus renders n deterministic synthetic pictures as PNG files,
+// the on-disk shape a corpus run consumes.
+func benchWriteCorpus(b *testing.B, dir string, n int) {
+	b.Helper()
+	g := tdgen.NewSeeded(tdgen.DefaultConfig(tdgen.G1), 11)
+	for i := 0; i < n; i++ {
+		s, err := g.GenerateAt(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("img-%04d.png", i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Image.EncodePNG(f); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// peakHeap runs fn while sampling runtime.ReadMemStats and returns the
+// largest HeapAlloc observed. The admission window in batch.Run bounds the
+// pictures resident at once by the worker count, so this peak must stay
+// flat as the corpus grows.
+func peakHeap(fn func()) uint64 {
+	stop := make(chan struct{})
+	done := make(chan uint64, 1)
+	go func() {
+		var ms runtime.MemStats
+		var peak uint64
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				done <- peak
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	return <-done
+}
+
+// BenchmarkBatchEngineCold measures a first-time corpus run: every picture
+// is decoded, translated and persisted into a fresh store. The two corpus
+// sizes share one peak-heap metric each; near-equal peaks are the evidence
+// that memory scales with workers, not corpus size.
+func BenchmarkBatchEngineCold(b *testing.B) {
+	pipe, _, _ := benchSetup(b)
+	cfg := pipe.ConfigHash()
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("corpus=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			benchWriteCorpus(b, dir, n)
+			var peak uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st, err := store.Open(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				b.StartTimer()
+				p := peakHeap(func() {
+					src, err := batch.Dir(dir)
+					if err != nil {
+						b.Fatal(err)
+					}
+					stats, err := batch.Run(context.Background(), pipe, src,
+						batch.Options{Store: st, Config: cfg},
+						func(r batch.Result) error { return r.Err })
+					if err != nil {
+						b.Fatal(err)
+					}
+					if stats.Misses != n {
+						b.Fatalf("cold run: %d misses, want %d", stats.Misses, n)
+					}
+				})
+				if p > peak {
+					peak = p
+				}
+			}
+			b.ReportMetric(float64(n), "pictures/op")
+			b.ReportMetric(float64(peak)/(1<<20), "peak-heap-MB")
+		})
+	}
+}
+
+// BenchmarkBatchEngineWarm measures a re-run over a populated store: the
+// alias index answers each file from its encoded-bytes hash, skipping PNG
+// decode, pixel hashing and translation entirely.
+func BenchmarkBatchEngineWarm(b *testing.B) {
+	pipe, _, _ := benchSetup(b)
+	cfg := pipe.ConfigHash()
+	const n = 128
+	dir := b.TempDir()
+	benchWriteCorpus(b, dir, n)
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := batch.Dir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := batch.Run(context.Background(), pipe, src,
+		batch.Options{Store: st, Config: cfg},
+		func(r batch.Result) error { return r.Err }); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := batch.Dir(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := batch.Run(context.Background(), pipe, src,
+			batch.Options{Store: st, Config: cfg},
+			func(r batch.Result) error { return r.Err })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Hits != n {
+			b.Fatalf("warm run: %d hits, want %d", stats.Hits, n)
+		}
+	}
+	b.ReportMetric(float64(n), "pictures/op")
+}

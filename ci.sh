@@ -22,7 +22,12 @@
 #   7b. bench-regression guard: the Fig. 1 single-image pipeline must not
 #                     regress more than 20% over the ns/op recorded in
 #                     BENCH_06.json (median of 3 runs, to ride out shared-
-#                     runner noise)
+#                     runner noise); the warm 128-picture batch re-run must
+#                     stay under the ceiling in BENCH_07.json the same way
+#   7d. corpus leg:   end to end over files — generate a 50-picture corpus
+#                     with tdgen, run tdmagic -batch cold into a fresh
+#                     content-addressed cache, re-run warm and assert >= 98%
+#                     store hits plus byte-identical .spec outputs
 #   7c. GOAMD64=v3 leg (only on avx2-capable runners): the whole tree must
 #                     build and the kernel micro-benchmarks must run under
 #                     the wider instruction baseline
@@ -69,6 +74,23 @@ limit = json.load(open(sys.argv[2]))["regression_guard"]["max_ns_per_op"]
 median = runs[1]
 print(f"fig1 pipeline median {median} ns/op (limit {limit})")
 assert median <= limit, f"Fig. 1 pipeline regressed: median {median} ns/op > {limit} ns/op (+20% over BENCH_06)"
+EOF
+rm -f "$guard"
+
+# Median of 3 runs of the warm batch re-run vs the ceiling in BENCH_07.json.
+guard=$(mktemp)
+for i in 1 2 3; do
+	go test -run '^$' -bench 'BenchmarkBatchEngineWarm$' -benchtime 5x . |
+		sed -n 's/^BenchmarkBatchEngineWarm[^0-9]*[0-9]*[[:space:]]*\([0-9]*\) ns\/op.*/\1/p'
+done >"$guard"
+python3 - "$guard" BENCH_07.json <<'EOF'
+import json, sys
+runs = sorted(int(l) for l in open(sys.argv[1]) if l.strip())
+assert len(runs) == 3, f"expected 3 bench runs, parsed {runs}"
+limit = json.load(open(sys.argv[2]))["regression_guard"]["max_ns_per_op"]
+median = runs[1]
+print(f"warm batch re-run median {median} ns/op (limit {limit})")
+assert median <= limit, f"warm batch re-run regressed: median {median} ns/op > {limit} ns/op (ceiling from BENCH_07)"
 EOF
 rm -f "$guard"
 
@@ -169,3 +191,18 @@ kill -TERM "$serve_pid"
 wait "$serve_pid" # non-zero exit (failed drain) fails the gate via set -e
 serve_pid=""
 grep -q 'drained cleanly' "$tmp/serve.err"
+
+# --- corpus leg: batch translation with the persistent result cache --------
+# Reuses the smoke model and tdmagic binary. A cold run fills the store, the
+# warm re-run must answer >= 98% of the corpus from it with byte-identical
+# specifications.
+go build -o "$tmp/tdgen" ./cmd/tdgen
+"$tmp/tdgen" -out "$tmp/corpus" -mode G1 -n 50 -seed 7 >/dev/null
+"$tmp/tdmagic" -model "$tmp/model.gob" -batch "$tmp/corpus" \
+	-out "$tmp/specs1" -cache "$tmp/tdcache" 2>"$tmp/cold.err"
+grep -q 'batch done: items=50 .* errors=0' "$tmp/cold.err"
+"$tmp/tdmagic" -model "$tmp/model.gob" -batch "$tmp/corpus" \
+	-out "$tmp/specs2" -cache "$tmp/tdcache" 2>"$tmp/warm.err"
+warm_hits=$(sed -n 's/.*batch done: items=50 hits=\([0-9]*\).*/\1/p' "$tmp/warm.err")
+test "$warm_hits" -ge 49 # >= 98% of 50 pictures answered from the store
+diff -r "$tmp/specs1" "$tmp/specs2" # warm specs must be byte-identical

@@ -25,6 +25,7 @@ import (
 	"tdmagic/internal/core"
 	"tdmagic/internal/eval"
 	"tdmagic/internal/metrics"
+	"tdmagic/internal/store"
 	"tdmagic/internal/version"
 )
 
@@ -43,6 +44,8 @@ func main() {
 		valN       = flag.Int("val", 40, "synthetic validation pictures")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for generation and training (results are worker-count invariant)")
 		intraW     = flag.Int("intra-workers", 1, "goroutines tiling the perception kernels within each picture (default 1: the batch path already runs one picture per worker; results are identical for any value)")
+		corpusDir  = flag.String("corpus", "", "evaluate tables 2, 3 and overall on this sample directory, streaming pictures through the batch executor instead of materialising the corpus up front")
+		cacheDir   = flag.String("cache", "", "persistent content-addressed result store; re-evaluations answer unchanged pictures from disk")
 		cpuProf    = flag.String("cpuprofile", "", "write CPU profile to file")
 		memProf    = flag.String("memprofile", "", "write heap profile to file on exit")
 		showMetric = flag.Bool("metrics", false, "print the translation metric exposition (same counters tdserve exports) to stderr after the run")
@@ -161,24 +164,63 @@ func main() {
 		}
 	}
 	if run("stats") || run("2") || run("3") || run("overall") {
-		stats, corpus, err := eval.CorpusStats(opts)
-		if err != nil {
-			log.Fatal(err)
+		// The extrapolation tables stream through the batch executor: a
+		// picture is loaded (or generated) when a worker frees up and
+		// released right after scoring, so the evaluation holds O(workers)
+		// pictures instead of the whole corpus. -cache answers unchanged
+		// pictures from the persistent store; results are bit-identical
+		// either way.
+		ropts := eval.RunOpts{Workers: *workers}
+		if *cacheDir != "" {
+			st, err := store.Open(*cacheDir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ropts.Store = st
 		}
-		if run("stats") {
-			stats.Print(os.Stdout)
-			fmt.Println()
+		var corpus eval.Corpus
+		if *corpusDir != "" {
+			c, err := eval.DirCorpus(*corpusDir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			corpus = c
+			if run("stats") && *table == "stats" {
+				log.Fatal("-table stats describes the generated extrapolation corpus and is not available with -corpus")
+			}
+		} else {
+			stats, samples, err := eval.CorpusStats(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if run("stats") {
+				stats.Print(os.Stdout)
+				fmt.Println()
+			}
+			corpus = eval.SliceCorpus(samples)
 		}
 		if run("2") {
-			eval.TableII(pipe, corpus).Print(os.Stdout)
+			res, err := eval.TableIIRun(pipe, corpus, ropts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.Print(os.Stdout)
 			fmt.Println()
 		}
 		if run("3") {
-			eval.TableIII(pipe, corpus).Print(os.Stdout, "TABLE III: OCR Accuracy in Extrapolation.")
+			res, err := eval.TableIIIRun(pipe, corpus)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.Print(os.Stdout, "TABLE III: OCR Accuracy in Extrapolation.")
 			fmt.Println()
 		}
 		if run("overall") {
-			eval.Overall(pipe, corpus).Print(os.Stdout, *verbose)
+			res, err := eval.OverallRun(pipe, corpus, ropts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.Print(os.Stdout, *verbose)
 		}
 	}
 	if run("scale") {

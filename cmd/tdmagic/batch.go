@@ -1,0 +1,62 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tdmagic/internal/batch"
+	"tdmagic/internal/core"
+	"tdmagic/internal/store"
+)
+
+// runBatch translates every *.png under dir through the streaming batch
+// executor, writing one <name>.spec per picture into out (or the
+// specifications to stdout when out is empty). With cacheDir set, results
+// are persisted in the content-addressed store, so a re-run — after a
+// crash, or over a corpus that only grew — translates only what is
+// missing. Per-picture failures are reported on stderr and counted; the
+// run continues past them and the process exits 1 at the end.
+func runBatch(pipe *core.Pipeline, dir, out, cacheDir string, workers int) {
+	src, err := batch.Dir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := batch.Options{Workers: workers}
+	if cacheDir != "" {
+		st, err := store.Open(cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Store = st
+		opts.Config = pipe.ConfigHash()
+	}
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start := time.Now()
+	stats, err := batch.Run(context.Background(), pipe, src, opts, func(r batch.Result) error {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "tdmagic: %s: %v\n", r.Name, r.Err)
+			return nil
+		}
+		if out == "" {
+			fmt.Printf("== %s ==\n%s", r.Name, r.Spec)
+			return nil
+		}
+		return os.WriteFile(filepath.Join(out, r.Name+".spec"), []byte(r.Spec), 0o644)
+	})
+	if err != nil {
+		log.Fatalf("batch: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tdmagic: batch done: items=%d hits=%d misses=%d errors=%d elapsed=%s\n",
+		stats.Items, stats.Hits, stats.Misses, stats.Errors, time.Since(start).Round(time.Millisecond))
+	if stats.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,8 @@
 //	tdmagic -model model.gob -strict diagram.png      # fail on degraded inputs
 //	tdmagic -model model.gob -trace t.json diagram.png   # per-stage span trace
 //	tdmagic -model model.gob -chrome-trace t.json diagram.png  # chrome://tracing
+//	tdmagic -model model.gob -batch corpus/ -out specs/        # whole directory
+//	tdmagic -model model.gob -batch corpus/ -out specs/ -cache .tdcache  # resumable
 //	tdmagic -version                                  # build identity
 //
 // By default degraded inputs (low contrast, noise, cyclic interpretations)
@@ -52,6 +54,10 @@ func main() {
 		traceOut    = flag.String("trace", "", "write the translation's span trace (per-stage timings and detector counts) to this JSON file")
 		chromeOut   = flag.String("chrome-trace", "", "write the span trace in Chrome trace_event format (open in chrome://tracing) to this JSON file")
 		intraW      = flag.Int("intra-workers", 0, "goroutines tiling the perception kernels within the picture (0 = every core: the CLI translates one picture, so it saturates the machine; output is identical for any value)")
+		batchDir    = flag.String("batch", "", "translate every *.png under this directory instead of a single picture")
+		outDir      = flag.String("out", "", "with -batch: write one <name>.spec per picture into this directory (default: print to stdout)")
+		cacheDir    = flag.String("cache", "", "with -batch: persistent content-addressed result store; re-runs translate only what is missing")
+		batchW      = flag.Int("batch-workers", 0, "with -batch: concurrent translations (0 = GOMAXPROCS)")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -59,13 +65,21 @@ func main() {
 		fmt.Println(version.Get())
 		return
 	}
-	if *model == "" || flag.NArg() != 1 {
+	if *model == "" || (*batchDir == "" && flag.NArg() != 1) || (*batchDir != "" && flag.NArg() != 0) {
 		flag.Usage()
 		os.Exit(2)
 	}
 	pipe, err := core.LoadFile(*model)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *batchDir != "" {
+		pipe.Strict = *strict
+		// Batch mode parallelises across pictures; intra-picture tiling
+		// stays off unless explicitly requested.
+		pipe.IntraWorkers = *intraW
+		runBatch(pipe, *batchDir, *outDir, *cacheDir, *batchW)
+		return
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {

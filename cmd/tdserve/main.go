@@ -42,6 +42,7 @@ import (
 	"tdmagic/internal/core"
 	"tdmagic/internal/obs"
 	"tdmagic/internal/serve"
+	"tdmagic/internal/store"
 	"tdmagic/internal/version"
 )
 
@@ -54,6 +55,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent translations (0 = GOMAXPROCS, capped at 8)")
 		queue       = flag.Int("queue", 0, "requests allowed to wait for a worker before 429 (0 = 4x workers)")
 		cache       = flag.Int("cache", 256, "result-cache entries keyed by picture content (-1 disables)")
+		storeDir    = flag.String("store", "", "persistent content-addressed artifact store behind the in-memory cache; survives restarts and is shared with tdmagic -batch")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request translation deadline")
 		maxBody     = flag.Int64("max-body", 32<<20, "largest accepted PNG body in bytes")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
@@ -82,6 +84,13 @@ func main() {
 		CacheSize:    *cache,
 		Timeout:      *timeout,
 		MaxBodyBytes: *maxBody,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = st
 	}
 	if !*quiet {
 		cfg.Logger = obs.NewLogger(os.Stderr, nil)

@@ -260,80 +260,16 @@ type TableIIResult struct {
 
 // TableII runs the object-detection extrapolation experiment: the trained
 // pipeline's edges, V-lines, H-lines and arrows scored against the
-// industrial corpus ground truth.
+// industrial corpus ground truth. It is a compatibility wrapper over the
+// streaming TableIIRun, whose scoring accumulates at the ordered emit and
+// is therefore bit-identical to the historical sequential loop.
 func TableII(pipe *core.Pipeline, corpus []*dataset.Sample) *TableIIResult {
-	// Edge classes via IoU matching.
-	var dets []detect.Detection
-	var gts []detect.GroundTruth
-	// Line/arrow tallies.
-	type tally struct{ tp, fp, fn int }
-	var vT, hT, aT tally
-
-	for i, s := range corpus {
-		_, rep, err := pipe.Translate(s.Image)
-		var outV []geom.VSeg
-		var outH []geom.HSeg
-		var outA []dataset.Arrow
-		if err == nil && rep.SEI != nil {
-			outV, outH, outA = rep.SEI.VLines, rep.SEI.HLines, rep.SEI.Arrows
-		}
-		if rep != nil {
-			for _, d := range rep.Edges {
-				dets = append(dets, detect.Detection{Box: d.Box, Class: int(d.Type), Score: d.Score, Image: i})
-			}
-		}
-		for _, g := range s.Edges {
-			gts = append(gts, detect.GroundTruth{Box: g.Box, Class: int(g.Type), Image: i})
-		}
-
-		tp, fp, fn := matchVLines(outV, s.VLines)
-		vT.tp += tp
-		vT.fp += fp
-		vT.fn += fn
-		tp, fp, fn = matchHLines(outH, s.HLines)
-		hT.tp += tp
-		hT.fp += fp
-		hT.fn += fn
-		tp, fp, fn = matchArrows(outA, s.Arrows)
-		aT.tp += tp
-		aT.fp += fp
-		aT.fn += fn
+	// The in-memory corpus can neither fail to load nor abort the run, so
+	// the runner's error path is unreachable here.
+	res, err := TableIIRun(pipe, SliceCorpus(corpus), RunOpts{})
+	if err != nil {
+		panic(err)
 	}
-
-	res := &TableIIResult{}
-	for _, et := range edgeClassOrder {
-		var d []detect.Detection
-		var g []detect.GroundTruth
-		for _, x := range dets {
-			if x.Class == int(et) {
-				d = append(d, x)
-			}
-		}
-		for _, x := range gts {
-			if x.Class == int(et) {
-				g = append(g, x)
-			}
-		}
-		m := detect.Match(d, g, 0.5)
-		p, r := m.PR()
-		res.Rows = append(res.Rows, TableIIRow{Name: et.String(), Number: len(g), P: p, R: r})
-	}
-	pr := func(t tally) (float64, float64) {
-		p, r := 1.0, 1.0
-		if t.tp+t.fp > 0 {
-			p = float64(t.tp) / float64(t.tp+t.fp)
-		}
-		if t.tp+t.fn > 0 {
-			r = float64(t.tp) / float64(t.tp+t.fn)
-		}
-		return p, r
-	}
-	p, r := pr(vT)
-	res.Rows = append(res.Rows, TableIIRow{Name: "V-line", Number: vT.tp + vT.fn, P: p, R: r})
-	p, r = pr(hT)
-	res.Rows = append(res.Rows, TableIIRow{Name: "H-line", Number: hT.tp + hT.fn, P: p, R: r})
-	p, r = pr(aT)
-	res.Rows = append(res.Rows, TableIIRow{Name: "arrow", Number: aT.tp + aT.fn, P: p, R: r})
 	return res
 }
 
@@ -518,42 +454,16 @@ type SampleOutcome struct {
 }
 
 // Overall runs the full pipeline over the corpus and scores SPO extraction
-// at the template and total level.
+// at the template and total level. It is a compatibility wrapper over the
+// streaming OverallRun; results are bit-identical to the historical
+// sequential loop for any worker count.
 func Overall(pipe *core.Pipeline, corpus []*dataset.Sample) *OverallResult {
-	res := &OverallResult{Total: len(corpus)}
-	var partials []float64
-	for _, s := range corpus {
-		out := SampleOutcome{Name: s.Name}
-		got, _, err := pipe.Translate(s.Image)
-		if err != nil {
-			out.Err = err
-			out.Recall = 0
-			partials = append(partials, 0)
-			res.PerSample = append(res.PerSample, out)
-			continue
-		}
-		out.Got = got
-		out.Template = got.TemplateEqual(s.Truth)
-		out.Total = got.TotalEqual(s.Truth)
-		out.Recall = got.ConstraintRecall(s.Truth)
-		if out.Template {
-			res.TemplateLevel++
-		} else {
-			partials = append(partials, out.Recall)
-		}
-		if out.Total {
-			res.TotallyOK++
-		}
-		res.PerSample = append(res.PerSample, out)
+	// The in-memory corpus can neither fail to load nor abort the run, so
+	// the runner's error path is unreachable here.
+	res, err := OverallRun(pipe, SliceCorpus(corpus), RunOpts{})
+	if err != nil {
+		panic(err)
 	}
-	if len(partials) > 0 {
-		sum := 0.0
-		for _, v := range partials {
-			sum += v
-		}
-		res.PartialRecall = sum / float64(len(partials))
-	}
-	sort.Slice(res.PerSample, func(i, j int) bool { return res.PerSample[i].Name < res.PerSample[j].Name })
 	return res
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"time"
 
+	"tdmagic/internal/batch"
 	"tdmagic/internal/core"
 	"tdmagic/internal/corrupt"
 	"tdmagic/internal/dataset"
@@ -147,64 +148,74 @@ func RobustnessSweep(pipe *core.Pipeline, synth, corpus []*dataset.Sample, opts 
 	return res, nil
 }
 
-// sweepCell corrupts every picture of the set at one (op, severity)
-// point, batch-translates them under per-item deadlines, and scores the
-// results against the (geometry-realigned) ground truth.
+// sweepCell runs one (op, severity) grid point through the streaming
+// batch executor: each picture is corrupted lazily on a worker when its
+// turn comes and released right after scoring, so a cell holds O(workers)
+// corrupted copies instead of the full severity set. Corruption seeds
+// derive from (seed, op, severity, item), so the grid is bit-identical to
+// the historical materialise-then-translate path for any worker count.
 func sweepCell(pipe *core.Pipeline, samples []*dataset.Sample, op corrupt.Op, sev, opIdx int, opts SweepOptions) SweepCell {
 	cell := SweepCell{Op: op.Name, Severity: sev, N: len(samples)}
-	imgs := make([]*imgproc.Gray, len(samples))
-	for i, s := range samples {
-		if sev == 0 {
-			imgs[i] = s.Image // untouched: bit-identical to the clean path
-		} else {
-			imgs[i] = op.Fn(s.Image, sev, cellSeed(opts.Seed, opIdx, sev, i))
+	src := batch.Func(len(samples), func(i int) batch.Item {
+		s := samples[i]
+		return batch.Item{
+			Name: s.Name,
+			Load: func() (*imgproc.Gray, error) {
+				if sev == 0 {
+					return s.Image, nil // untouched: bit-identical to the clean path
+				}
+				return op.Fn(s.Image, sev, cellSeed(opts.Seed, opIdx, sev, i)), nil
+			},
 		}
-	}
-	results := pipe.TranslateAllCtx(context.Background(), imgs,
-		core.BatchOptions{Workers: opts.Workers, Timeout: opts.Timeout})
+	})
 
 	var tmpl, total int
 	var edgesFound, edgesAll, textsOK, textsAll int
-	for i, s := range samples {
-		var dx, dy int
-		if sev > 0 && op.Offset != nil {
-			dx, dy = op.Offset(sev, s.Image.W, s.Image.H)
-		}
-		r := results[i]
-		if r.Rep != nil {
-			cell.Diags += len(r.Rep.Diags)
-			for _, gt := range s.Edges {
-				gtBox := gt.Box.Translate(dx, dy)
-				for _, d := range r.Rep.Edges {
-					if d.Box.IoU(gtBox) >= 0.5 && d.Type == gt.Type {
-						edgesFound++
-						break
+	// The source cannot fail and the scorer never aborts, so Run's error
+	// is nil by construction.
+	_, _ = batch.Run(context.Background(), pipe, src,
+		batch.Options{Workers: opts.Workers, Timeout: opts.Timeout},
+		func(r batch.Result) error {
+			s := samples[r.Index]
+			var dx, dy int
+			if sev > 0 && op.Offset != nil {
+				dx, dy = op.Offset(sev, s.Image.W, s.Image.H)
+			}
+			if r.Rep != nil {
+				cell.Diags += len(r.Rep.Diags)
+				for _, gt := range s.Edges {
+					gtBox := gt.Box.Translate(dx, dy)
+					for _, d := range r.Rep.Edges {
+						if d.Box.IoU(gtBox) >= 0.5 && d.Type == gt.Type {
+							edgesFound++
+							break
+						}
+					}
+				}
+				for _, gt := range s.Texts {
+					gtBox := gt.Box.Translate(dx, dy)
+					for _, t := range r.Rep.Texts {
+						if t.Box.IoU(gtBox) >= 0.3 && t.Text == gt.Text {
+							textsOK++
+							break
+						}
 					}
 				}
 			}
-			for _, gt := range s.Texts {
-				gtBox := gt.Box.Translate(dx, dy)
-				for _, t := range r.Rep.Texts {
-					if t.Box.IoU(gtBox) >= 0.3 && t.Text == gt.Text {
-						textsOK++
-						break
-					}
-				}
+			edgesAll += len(s.Edges)
+			textsAll += len(s.Texts)
+			if r.Err != nil {
+				cell.Errors++
+				return nil
 			}
-		}
-		edgesAll += len(s.Edges)
-		textsAll += len(s.Texts)
-		if r.Err != nil {
-			cell.Errors++
-			continue
-		}
-		if r.SPO.TemplateEqual(s.Truth) {
-			tmpl++
-		}
-		if r.SPO.TotalEqual(s.Truth) {
-			total++
-		}
-	}
+			if r.SPO.TemplateEqual(s.Truth) {
+				tmpl++
+			}
+			if r.SPO.TotalEqual(s.Truth) {
+				total++
+			}
+			return nil
+		})
 	if cell.N > 0 {
 		cell.Template = float64(tmpl) / float64(cell.N)
 		cell.Total = float64(total) / float64(cell.N)

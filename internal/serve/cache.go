@@ -2,31 +2,18 @@ package serve
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/binary"
 	"sync"
 
-	"tdmagic/internal/imgproc"
+	"tdmagic/internal/store"
 )
 
-// cacheKey identifies a picture by content: the SHA-256 of its dimensions
-// and raw pixels. Two uploads of the same diagram — even through different
-// PNG encoders, compression levels or ancillary chunks — hash to the same
-// key, so the cache is keyed on what the pipeline actually sees.
-type cacheKey [sha256.Size]byte
-
-// hashImage computes the content key of a decoded picture.
-func hashImage(img *imgproc.Gray) cacheKey {
-	h := sha256.New()
-	var dims [16]byte
-	binary.LittleEndian.PutUint64(dims[0:8], uint64(img.W))
-	binary.LittleEndian.PutUint64(dims[8:16], uint64(img.H))
-	h.Write(dims[:])
-	h.Write(img.Pix)
-	var k cacheKey
-	h.Sum(k[:0])
-	return k
-}
+// The cache is keyed by store.HashImage — the SHA-256 of the decoded
+// picture's dimensions and raw pixels. Two uploads of the same diagram —
+// even through different PNG encoders, compression levels or ancillary
+// chunks — hash to the same key, so the cache is keyed on what the
+// pipeline actually sees. The persistent artifact store (internal/store)
+// uses the identical scheme, which is what lets the LRU sit as a
+// first-level cache in front of it.
 
 // lruCache is a fixed-capacity least-recently-used map from content key to
 // a finished response body. Values are immutable once inserted: hits hand
@@ -36,11 +23,11 @@ type lruCache struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recent; values are *cacheEntry
-	items map[cacheKey]*list.Element
+	items map[store.Hash]*list.Element
 }
 
 type cacheEntry struct {
-	key  cacheKey
+	key  store.Hash
 	body []byte
 }
 
@@ -50,12 +37,12 @@ func newLRUCache(capacity int) *lruCache {
 	return &lruCache{
 		cap:   capacity,
 		order: list.New(),
-		items: make(map[cacheKey]*list.Element),
+		items: make(map[store.Hash]*list.Element),
 	}
 }
 
 // get returns the cached body for key, marking it most recently used.
-func (c *lruCache) get(key cacheKey) ([]byte, bool) {
+func (c *lruCache) get(key store.Hash) ([]byte, bool) {
 	if c.cap <= 0 {
 		return nil, false
 	}
@@ -71,7 +58,7 @@ func (c *lruCache) get(key cacheKey) ([]byte, bool) {
 
 // put stores body under key, evicting the least recently used entry when
 // full. The caller must not mutate body afterwards.
-func (c *lruCache) put(key cacheKey, body []byte) {
+func (c *lruCache) put(key store.Hash, body []byte) {
 	if c.cap <= 0 {
 		return
 	}

@@ -31,7 +31,7 @@
 package serve
 
 import (
-	"bytes"
+	"bufio"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -49,12 +49,13 @@ import (
 	"sync"
 	"time"
 
+	"tdmagic/internal/batch"
 	"tdmagic/internal/core"
 	"tdmagic/internal/diag"
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/metrics"
 	"tdmagic/internal/obs"
-	"tdmagic/internal/spo"
+	"tdmagic/internal/store"
 	"tdmagic/internal/version"
 )
 
@@ -80,6 +81,13 @@ type Config struct {
 	// MaxBatchParts caps the number of pictures in one batch request
 	// (<= 0 means 64).
 	MaxBatchParts int
+	// Store, when non-nil, is a persistent content-addressed result store
+	// shared with the batch engine (same artifact format, same config ×
+	// input keying): it backs the in-memory LRU as a second cache level,
+	// and every successful translation is written through to it, so a
+	// serving fleet warms the same corpus cache that tdmagic -batch and
+	// tdeval read.
+	Store *store.Store
 	// Registry receives the service and pipeline metrics; nil creates a
 	// private registry.
 	Registry *metrics.Registry
@@ -119,6 +127,7 @@ type Server struct {
 	cfg     Config
 	pipe    *core.Pipeline
 	cache   *lruCache
+	cfgHash store.Hash // pipeline ConfigHash, keying the persistent store
 	sem     chan struct{}
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the request-ID/access-log middleware
@@ -132,6 +141,8 @@ type Server struct {
 	batchImages *metrics.Counter
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
+	storeHits   *metrics.Counter
+	storePuts   *metrics.Counter
 	rejections  *metrics.Counter
 	badRequests *metrics.Counter
 	inflight    *metrics.Gauge
@@ -162,10 +173,17 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 		batchImages: cfg.Registry.Counter("tdserve_batch_images_total", "pictures received in batch requests"),
 		cacheHits:   cfg.Registry.Counter("tdserve_cache_hits_total", "translations answered from the result cache"),
 		cacheMisses: cfg.Registry.Counter("tdserve_cache_misses_total", "translations that missed the result cache"),
+		storeHits:   cfg.Registry.Counter("tdserve_store_hits_total", "translations answered from the persistent artifact store"),
+		storePuts:   cfg.Registry.Counter("tdserve_store_puts_total", "artifacts written through to the persistent store"),
 		rejections:  cfg.Registry.Counter("tdserve_queue_rejections_total", "requests shed with 429 because the queue was full"),
 		badRequests: cfg.Registry.Counter("tdserve_bad_requests_total", "requests refused with 400"),
 		inflight:    cfg.Registry.Gauge("tdserve_inflight_translations", "translations currently executing"),
 		queued:      cfg.Registry.Gauge("tdserve_queued_requests", "requests waiting for a worker slot"),
+	}
+	if cfg.Store != nil {
+		// The config hash is fixed for the server's lifetime (the pipeline
+		// is immutable once serving), so compute it once.
+		s.cfgHash = pipe.ConfigHash()
 	}
 	// The hit ratio is derived from the counters at scrape time, so it can
 	// never drift from them.
@@ -337,16 +355,12 @@ func (s *Server) acquire(ctx context.Context) error {
 
 func (s *Server) release() { <-s.sem }
 
-// TranslateResponse is the success payload of /v1/translate.
-type TranslateResponse struct {
-	// SPO is the extracted specification graph.
-	SPO *spo.SPO `json:"spo"`
-	// Spec is the human-readable specification text (SpecText).
-	Spec string `json:"spec"`
-	// Diags lists the degradations the pipeline worked around; empty on
-	// a clean translation.
-	Diags []diag.Diagnostic `json:"diags,omitempty"`
-}
+// TranslateResponse is the success payload of /v1/translate: SPO graph,
+// spec text and diagnostics. It is the batch engine's artifact format,
+// field for field — the bytes this service serves are the bytes the
+// persistent store holds, so the two share one cache without any
+// translation layer.
+type TranslateResponse = batch.Artifact
 
 // ErrorResponse is the failure payload: a message plus the structured
 // diagnostics that explain it, in the same shape the pipeline reports
@@ -384,7 +398,7 @@ type processResult struct {
 // record none); the result is still stored for later requests.
 func (s *Server) process(ctx context.Context, img *imgproc.Gray, skipCache bool) processResult {
 	s.requests.Inc()
-	key := hashImage(img)
+	key := store.HashImage(img)
 	if !skipCache {
 		if body, ok := s.cache.get(key); ok {
 			s.cacheHits.Inc()
@@ -393,6 +407,19 @@ func (s *Server) process(ctx context.Context, img *imgproc.Gray, skipCache bool)
 				sp.End()
 			}
 			return processResult{status: http.StatusOK, body: body, cached: true}
+		}
+		// Second cache level: the persistent store. A hit promotes the
+		// artifact into the LRU so repeats stay off the disk too.
+		if s.cfg.Store != nil {
+			if body, ok := s.cfg.Store.Get(s.cfgHash, key); ok && validArtifact(body) {
+				s.storeHits.Inc()
+				s.cache.put(key, body)
+				if sp := obs.StartSpan(ctx, "cache"); sp != nil {
+					sp.Bool("hit", true).Bool("store", true)
+					sp.End()
+				}
+				return processResult{status: http.StatusOK, body: body, cached: true}
+			}
 		}
 	}
 	if sp := obs.StartSpan(ctx, "cache"); sp != nil {
@@ -447,7 +474,22 @@ func (s *Server) process(ctx context.Context, img *imgproc.Gray, skipCache bool)
 	}
 	s.cacheMisses.Inc()
 	s.cache.put(key, body)
+	if s.cfg.Store != nil {
+		// Best-effort write-through: a full or read-only store degrades to
+		// recomputation, never to a failed response.
+		if s.cfg.Store.Put(s.cfgHash, key, body) == nil {
+			s.storePuts.Inc()
+		}
+	}
 	return processResult{status: http.StatusOK, body: body}
+}
+
+// validArtifact screens a stored body before serving it: it must be a
+// well-formed artifact with an SPO, or the store entry is ignored (and
+// later healed by the write-through).
+func validArtifact(body []byte) bool {
+	var a batch.Artifact
+	return json.Unmarshal(body, &a) == nil && a.SPO != nil
 }
 
 // statusForCtxErr maps a context/translation error to an HTTP status.
@@ -518,7 +560,11 @@ func attachTrace(res processResult, tr *obs.Trace) processResult {
 }
 
 // handleBatch serves POST /v1/translate/batch: multipart/form-data where
-// every file part is one PNG. Items are translated concurrently through
+// every file part is one PNG. Parts stream off the wire one at a time —
+// each is decoded through the size-capped streaming reader, never
+// buffered wholesale — and flow through the batch executor, whose
+// admission window keeps at most O(Workers) decoded pictures resident no
+// matter how many parts the upload carries. Items are translated through
 // the same cache and worker pool as single requests, and the response
 // carries one entry per part, in part order.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -533,71 +579,107 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "content type must be multipart/form-data", nil)
 		return
 	}
-	mr := multipart.NewReader(r.Body, params["boundary"])
+	src := &multipartSource{s: s, mr: multipart.NewReader(r.Body, params["boundary"])}
 
-	type job struct {
-		name string
-		img  *imgproc.Gray
-		res  ItemResult
-	}
-	var jobs []*job
-	for {
-		part, err := mr.NextPart()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
+	var out []ItemResult
+	_, err = batch.Run(r.Context(), s.pipe, src, batch.Options{
+		Workers: s.cfg.Workers,
+		// The custom Do routes every item through s.process — the same
+		// admission gate, LRU, persistent store and deadline as a single
+		// request — so the executor contributes only streaming, bounded
+		// fan-out and ordered emission.
+		Do: func(ctx context.Context, it batch.Item) batch.Result {
+			var ie *itemError
+			if errors.As(it.Err, &ie) {
+				return batch.Result{Err: it.Err, Aux: ItemResult{
+					Name: it.Name, Status: ie.status, Error: ie.msg,
+					Diags: []diag.Diagnostic{diag.New(diag.StageInput, diag.Error, "%s", ie.msg)},
+				}}
+			}
+			res := s.process(ctx, it.Image, false)
+			return batch.Result{Cached: res.cached, Aux: itemResultFrom(it.Name, res)}
+		},
+	}, func(res batch.Result) error {
+		out = append(out, res.Aux.(ItemResult))
+		return nil
+	})
+	if err != nil {
+		var ab *batchAbort
+		if errors.As(err, &ab) {
 			s.badRequests.Inc()
-			s.writeError(w, http.StatusBadRequest, "read multipart body: "+err.Error(), nil)
-			return
-		}
-		if len(jobs) >= s.cfg.MaxBatchParts {
-			part.Close()
-			s.badRequests.Inc()
-			s.writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("batch exceeds %d pictures", s.cfg.MaxBatchParts), nil)
-			return
-		}
-		name := part.FileName()
-		if name == "" {
-			name = part.FormName()
-		}
-		j := &job{name: name}
-		img, status, msg := s.readPNGFrom(io.LimitReader(part, s.cfg.MaxBodyBytes+1))
-		part.Close()
-		if msg != "" {
-			j.res = ItemResult{Name: name, Status: status, Error: msg, Diags: []diag.Diagnostic{
-				diag.New(diag.StageInput, diag.Error, "%s", msg),
-			}}
+			s.writeError(w, ab.status, ab.msg, nil)
 		} else {
-			j.img = img
+			s.writeError(w, statusForCtxErr(err), "batch aborted: "+err.Error(), nil)
 		}
-		jobs = append(jobs, j)
+		return
 	}
-	s.batchImages.Add(int64(len(jobs)))
+	s.batchImages.Add(int64(len(out)))
 
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		if j.img == nil {
-			continue
-		}
-		wg.Add(1)
-		go func(j *job) {
-			defer wg.Done()
-			res := s.process(r.Context(), j.img, false)
-			j.res = itemResultFrom(j.name, res)
-		}(j)
-	}
-	wg.Wait()
-
-	out := make([]ItemResult, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.res
-	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(struct {
 		Results []ItemResult `json:"results"`
 	}{out})
+}
+
+// batchAbort is a terminal source failure: the whole batch request is
+// refused with its status.
+type batchAbort struct {
+	status int
+	msg    string
+}
+
+func (e *batchAbort) Error() string { return e.msg }
+
+// itemError is a per-part preparation failure carried through the
+// executor as the item's error.
+type itemError struct {
+	status int
+	msg    string
+}
+
+func (e *itemError) Error() string { return e.msg }
+
+// multipartSource streams batch parts as executor items: each Next reads
+// exactly one part and decodes it straight off the wire through the
+// size-capped streaming reader. The request body is consumed part by part
+// under the executor's backpressure — a 500-image upload never has more
+// than the in-flight window decoded at once, and the raw bytes are never
+// accumulated at all.
+type multipartSource struct {
+	s     *Server
+	mr    *multipart.Reader
+	count int
+}
+
+func (m *multipartSource) Next() (batch.Item, error) {
+	part, err := m.mr.NextPart()
+	if err == io.EOF {
+		return batch.Item{}, io.EOF
+	}
+	if err != nil {
+		return batch.Item{}, &batchAbort{status: http.StatusBadRequest, msg: "read multipart body: " + err.Error()}
+	}
+	if m.count >= m.s.cfg.MaxBatchParts {
+		part.Close()
+		return batch.Item{}, &batchAbort{
+			status: http.StatusBadRequest,
+			msg:    fmt.Sprintf("batch exceeds %d pictures", m.s.cfg.MaxBatchParts),
+		}
+	}
+	m.count++
+	name := part.FileName()
+	if name == "" {
+		name = part.FormName()
+	}
+	it := batch.Item{Name: name}
+	img, status, msg := m.s.readPNGStream(io.LimitReader(part, m.s.cfg.MaxBodyBytes+1))
+	part.Close()
+	if msg != "" {
+		it.Err = &itemError{status: status, msg: msg}
+	} else {
+		it.Image = img
+	}
+	return it, nil
 }
 
 // itemResultFrom converts a processResult into a batch item entry by
@@ -682,36 +764,60 @@ func (s *Server) readPNG(body io.ReadCloser, contentLength int64) (*imgproc.Gray
 		return nil, http.StatusBadRequest,
 			fmt.Sprintf("body of %d bytes exceeds the %d-byte limit", contentLength, s.cfg.MaxBodyBytes)
 	}
-	return s.readPNGFrom(io.LimitReader(body, s.cfg.MaxBodyBytes+1))
+	return s.readPNGStream(io.LimitReader(body, s.cfg.MaxBodyBytes+1))
 }
 
 // pngMagic is the 8-byte PNG signature.
 var pngMagic = [8]byte{0x89, 'P', 'N', 'G', '\r', '\n', 0x1a, '\n'}
 
-// readPNGFrom reads at most MaxBodyBytes+1 from r and decodes a PNG,
-// screening the IHDR dimensions before committing to a full decode so an
-// adversarial "small file, enormous raster" bomb is refused for the price
-// of a 24-byte header peek.
-func (s *Server) readPNGFrom(r io.Reader) (*imgproc.Gray, int, string) {
-	data, err := io.ReadAll(r)
-	if err != nil {
+// countReader tallies the bytes pulled through it, so the size cap can be
+// enforced on a stream without buffering it.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readPNGStream decodes a PNG straight off r: the 24-byte magic + IHDR
+// prefix is peeked (screening out adversarial "small file, enormous
+// raster" bombs before committing to a decode), the decoder then pulls
+// the compressed stream directly, and the remainder is drained through a
+// byte counter to enforce the size cap. Nothing buffers the encoded body
+// wholesale — resident cost is the decoded raster plus a small bufio
+// window, which is what lets a many-part batch upload stream.
+func (s *Server) readPNGStream(r io.Reader) (*imgproc.Gray, int, string) {
+	cr := &countReader{r: r}
+	br := bufio.NewReader(cr)
+	head, err := br.Peek(24)
+	if len(head) < 24 {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || err == nil {
+			return nil, http.StatusBadRequest, "body is not a PNG"
+		}
 		return nil, http.StatusBadRequest, "read body: " + err.Error()
 	}
-	if int64(len(data)) > s.cfg.MaxBodyBytes {
-		return nil, http.StatusBadRequest,
-			fmt.Sprintf("body exceeds the %d-byte limit", s.cfg.MaxBodyBytes)
-	}
-	if len(data) < 24 || [8]byte(data[:8]) != pngMagic {
+	if [8]byte(head[:8]) != pngMagic {
 		return nil, http.StatusBadRequest, "body is not a PNG"
 	}
 	// IHDR is mandatory and first: width and height live at bytes 16-23.
-	width := int64(binary.BigEndian.Uint32(data[16:20]))
-	height := int64(binary.BigEndian.Uint32(data[20:24]))
+	width := int64(binary.BigEndian.Uint32(head[16:20]))
+	height := int64(binary.BigEndian.Uint32(head[20:24]))
 	if width <= 0 || height <= 0 || width*height > core.MaxPixels {
 		return nil, http.StatusBadRequest,
 			fmt.Sprintf("declared %dx%d raster exceeds the %d-pixel limit", width, height, core.MaxPixels)
 	}
-	img, err := imgproc.DecodePNG(bytes.NewReader(data))
+	img, err := imgproc.DecodePNG(br)
+	// Drain whatever the decoder left (trailing chunks, or the rest of a
+	// body it bailed on) so the byte count below covers the full stream.
+	_, _ = io.Copy(io.Discard, br)
+	if cr.n > s.cfg.MaxBodyBytes {
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("body exceeds the %d-byte limit", s.cfg.MaxBodyBytes)
+	}
 	if err != nil {
 		return nil, http.StatusBadRequest, "decode png: " + err.Error()
 	}

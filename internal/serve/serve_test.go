@@ -20,6 +20,7 @@ import (
 	"tdmagic/internal/core"
 	"tdmagic/internal/dataset"
 	"tdmagic/internal/diag"
+	"tdmagic/internal/store"
 	"tdmagic/internal/tdgen"
 )
 
@@ -133,6 +134,62 @@ func TestTranslateCacheHit(t *testing.T) {
 	}
 	if hits, misses := s.cacheHits.Value(), s.cacheMisses.Value(); hits != 1 || misses != 1 {
 		t.Errorf("cache counters hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestPersistentStoreSurvivesRestart pins the second cache level: a
+// translation written through to the artifact store is answered from it by
+// a fresh server process (empty LRU) with a byte-identical body.
+func TestPersistentStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, ts1 := newTestServer(t, Config{Workers: 2, Store: st1})
+	_, val := fixture(t)
+	png := pngBytes(t, val[0])
+
+	resp1 := postPNG(t, ts1.URL, png)
+	body1 := readBody(t, resp1)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Errorf("first X-Cache = %q, want miss", got)
+	}
+	if puts := s1.storePuts.Value(); puts != 1 {
+		t.Errorf("store puts = %d, want 1", puts)
+	}
+
+	// "Restart": a new Server over a reopened store, with its own empty LRU.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, Config{Workers: 2, Store: st2})
+	resp2 := postPNG(t, ts2.URL, png)
+	body2 := readBody(t, resp2)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: %d %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("restarted X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("store hit body is not byte-identical to the original response")
+	}
+	if hits := s2.storeHits.Value(); hits != 1 {
+		t.Errorf("store hits = %d, want 1", hits)
+	}
+	// The hit was promoted into the LRU, so a third request never touches disk.
+	resp3 := postPNG(t, ts2.URL, png)
+	readBody(t, resp3)
+	if got := resp3.Header.Get("X-Cache"); got != "hit" {
+		t.Errorf("third X-Cache = %q, want hit", got)
+	}
+	if hits := s2.storeHits.Value(); hits != 1 {
+		t.Errorf("store hits after LRU promotion = %d, want still 1", hits)
 	}
 }
 
@@ -461,7 +518,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 // recency order, disabled mode.
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
-	k := func(i byte) cacheKey { var key cacheKey; key[0] = i; return key }
+	k := func(i byte) store.Hash { var key store.Hash; key[0] = i; return key }
 	c.put(k(1), []byte("one"))
 	c.put(k(2), []byte("two"))
 	if _, ok := c.get(k(1)); !ok {

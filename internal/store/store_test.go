@@ -1,0 +1,169 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tdmagic/internal/imgproc"
+)
+
+func h(b byte) Hash {
+	var x Hash
+	x[0] = b
+	x[31] = b ^ 0xff
+	return x
+}
+
+func TestHashHexRoundTrip(t *testing.T) {
+	x := HashBytes([]byte("timing diagram"))
+	got, err := ParseHex(x.Hex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != x {
+		t.Fatalf("round trip %s != %s", got.Hex(), x.Hex())
+	}
+	if _, err := ParseHex("zz"); err == nil {
+		t.Error("ParseHex accepted garbage")
+	}
+	if !(Hash{}).IsZero() || x.IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestHashImageMatchesServeScheme(t *testing.T) {
+	img := imgproc.NewGray(3, 2)
+	img.Pix = []byte{1, 2, 3, 4, 5, 6}
+	a := HashImage(img)
+	img2 := imgproc.NewGray(3, 2)
+	img2.Pix = []byte{1, 2, 3, 4, 5, 6}
+	if HashImage(img2) != a {
+		t.Error("equal pixels, different hash")
+	}
+	// Dimensions are part of the key: 3x2 and 2x3 share bytes but not hash.
+	img3 := imgproc.NewGray(2, 3)
+	img3.Pix = []byte{1, 2, 3, 4, 5, 6}
+	if HashImage(img3) == a {
+		t.Error("transposed dims collide")
+	}
+	img2.Pix[5] = 7
+	if HashImage(img2) == a {
+		t.Error("pixel flip did not change hash")
+	}
+}
+
+func TestPutGetRemove(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, input := h(1), h(2)
+	if _, ok := s.Get(cfg, input); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put(cfg, input, []byte(`{"spec":"x"}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := s.Get(cfg, input)
+	if !ok || string(data) != `{"spec":"x"}` {
+		t.Fatalf("get = %q, %v", data, ok)
+	}
+	if !s.Has(cfg, input) {
+		t.Error("Has = false after Put")
+	}
+	// Overwrite replaces content atomically.
+	if err := s.Put(cfg, input, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := s.Get(cfg, input); string(data) != "v2" {
+		t.Errorf("overwrite read back %q", data)
+	}
+	if err := s.Remove(cfg, input); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(cfg, input) {
+		t.Error("Has = true after Remove")
+	}
+	if err := s.Remove(cfg, input); err != nil {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestKeysAreIndependent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(h(1), h(2), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Same input under a different config is a distinct artifact.
+	if _, ok := s.Get(h(9), h(2)); ok {
+		t.Error("config hash not part of the key")
+	}
+	if _, ok := s.Get(h(1), h(9)); ok {
+		t.Error("input hash not part of the key")
+	}
+	n, err := s.Count(h(1))
+	if err != nil || n != 1 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+	if n, _ := s.Count(h(9)); n != 0 {
+		t.Errorf("Count(empty cfg) = %d", n)
+	}
+}
+
+func TestAliasIndex(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, input := h(3), h(4)
+	if _, ok := s.GetAlias(raw); ok {
+		t.Fatal("alias hit on empty store")
+	}
+	if err := s.PutAlias(raw, input); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetAlias(raw)
+	if !ok || got != input {
+		t.Fatalf("GetAlias = %s, %v", got.Hex(), ok)
+	}
+}
+
+func TestOpenClearsStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, "tmp", "put-crashed")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale tmp file survived reopen")
+	}
+}
+
+func TestCorruptAliasIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := h(5)
+	if err := s.PutAlias(raw, h(6)); err != nil {
+		t.Fatal(err)
+	}
+	// An externally truncated alias file degrades to a miss, not an error.
+	if err := os.WriteFile(s.aliasPath(raw), []byte("not-hex"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetAlias(raw); ok {
+		t.Error("corrupt alias resolved")
+	}
+}
