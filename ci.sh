@@ -45,6 +45,14 @@
 #                     rebuild tdserve against it — proving the checked-in
 #                     cmd/tdserve/default.pgo pipeline (profile -> -pgo
 #                     build) stays reproducible end to end
+#  10. job smoke:     crash-safety end to end — submit a 50-picture job to
+#                     tdserve's durable job engine, SIGKILL the server
+#                     mid-run, restart it on the same journal and store,
+#                     and assert the resumed replica finishes the job
+#                     while retranslating only items not journaled done
+#                     at the kill (completed items answer from the store),
+#                     with the final NDJSON results byte-identical to an
+#                     uninterrupted cold run
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -206,3 +214,96 @@ grep -q 'batch done: items=50 .* errors=0' "$tmp/cold.err"
 warm_hits=$(sed -n 's/.*batch done: items=50 hits=\([0-9]*\).*/\1/p' "$tmp/warm.err")
 test "$warm_hits" -ge 49 # >= 98% of 50 pictures answered from the store
 diff -r "$tmp/specs1" "$tmp/specs2" # warm specs must be byte-identical
+
+# --- job-service smoke: SIGKILL mid-job, resume, no redone work -------------
+# Reuses the smoke model and the tdgen corpus. A throttled server is killed
+# with -9 mid-job; a second generation on the same journal and store must
+# finish the job, retranslating only items the journal did not show done at
+# the kill, and its results must match an uninterrupted cold run byte for
+# byte.
+python3 - "$tmp/corpus" >"$tmp/manifest.json" <<'EOF'
+import json, os, sys
+names = sorted(f for f in os.listdir(sys.argv[1]) if f.endswith(".png"))
+assert len(names) == 50, names
+print(json.dumps({"manifest": names}))
+EOF
+
+start_jobs_server() { # $1 out-file, extra flags follow
+	out=$1
+	shift
+	"$tmp/tdserve" -model "$tmp/model.gob" -addr 127.0.0.1:0 -quiet \
+		-store "$tmp/jobstore" -jobs "$tmp/jobroot" \
+		-jobs-manifest-root "$tmp/corpus" -jobs-workers 2 "$@" \
+		>"$out" 2>"$out.err" &
+	serve_pid=$!
+	i=0
+	until grep -q '^listening on ' "$out" 2>/dev/null; do
+		i=$((i + 1))
+		test "$i" -le 100
+		kill -0 "$serve_pid"
+		sleep 0.2
+	done
+	addr=$(sed -n 's/^listening on //p' "$out")
+}
+
+job_done_count() {
+	curl -fsS "http://$addr/v1/jobs/$1" |
+		python3 -c 'import json,sys; d=json.load(sys.stdin); print(d["stats"]["done"])'
+}
+
+start_jobs_server "$tmp/jobs1.out" -jobs-throttle 60ms
+curl -fsS "http://$addr/readyz" | grep -q '"ready"'
+curl -fsS -X POST -H 'Content-Type: application/json' \
+	--data @"$tmp/manifest.json" "http://$addr/v1/jobs" >"$tmp/submit.json"
+job_id=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$tmp/submit.json")
+
+# Wait for partial progress, then kill -9: no drain, no checkpoint flush.
+i=0
+done_at_kill=0
+while [ "$done_at_kill" -lt 10 ]; do
+	i=$((i + 1))
+	test "$i" -le 300
+	sleep 0.1
+	done_at_kill=$(job_done_count "$job_id")
+done
+kill -KILL "$serve_pid"
+wait "$serve_pid" || true
+serve_pid=""
+
+# Second generation: same journal, same store, full speed.
+start_jobs_server "$tmp/jobs2.out"
+i=0
+until curl -fsS "http://$addr/v1/jobs/$job_id" | grep -q '"state":"done"'; do
+	i=$((i + 1))
+	test "$i" -le 300
+	sleep 0.2
+done
+# The resume invariant: items journaled done at the kill answer from the
+# store, so the second process translates at most the remainder.
+translated=$(curl -fsS "http://$addr/metrics" |
+	sed -n 's/^tdmagic_translations_total \([0-9]*\)$/\1/p')
+test "$translated" -le $((50 - done_at_kill))
+curl -fsS "http://$addr/v1/jobs/$job_id/results" >"$tmp/resumed.ndjson"
+test "$(wc -l <"$tmp/resumed.ndjson")" -eq 50
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+grep -q 'drained cleanly' "$tmp/jobs2.out.err"
+
+# Uninterrupted cold run on fresh dirs: results must be byte-identical.
+rm -rf "$tmp/jobstore" "$tmp/jobroot"
+start_jobs_server "$tmp/jobs3.out"
+curl -fsS -X POST -H 'Content-Type: application/json' \
+	--data @"$tmp/manifest.json" "http://$addr/v1/jobs" >"$tmp/submit2.json"
+cold_id=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$tmp/submit2.json")
+i=0
+until curl -fsS "http://$addr/v1/jobs/$cold_id" | grep -q '"state":"done"'; do
+	i=$((i + 1))
+	test "$i" -le 300
+	sleep 0.2
+done
+curl -fsS "http://$addr/v1/jobs/$cold_id/results" >"$tmp/cold.ndjson"
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+cmp "$tmp/resumed.ndjson" "$tmp/cold.ndjson" # crash-resume is invisible in the output

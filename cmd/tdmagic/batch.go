@@ -40,6 +40,7 @@ func runBatch(pipe *core.Pipeline, dir, out, cacheDir string, workers int) {
 		}
 	}
 	start := time.Now()
+	badNames := 0
 	stats, err := batch.Run(context.Background(), pipe, src, opts, func(r batch.Result) error {
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "tdmagic: %s: %v\n", r.Name, r.Err)
@@ -49,14 +50,28 @@ func runBatch(pipe *core.Pipeline, dir, out, cacheDir string, workers int) {
 			fmt.Printf("== %s ==\n%s", r.Name, r.Spec)
 			return nil
 		}
-		return os.WriteFile(filepath.Join(out, r.Name+".spec"), []byte(r.Spec), 0o644)
+		if err := writeSpec(out, r.Name, r.Spec); err != nil {
+			fmt.Fprintf(os.Stderr, "tdmagic: %s: %v\n", r.Name, err)
+			badNames++
+		}
+		return nil
 	})
 	if err != nil {
 		log.Fatalf("batch: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "tdmagic: batch done: items=%d hits=%d misses=%d errors=%d elapsed=%s\n",
 		stats.Items, stats.Hits, stats.Misses, stats.Errors, time.Since(start).Round(time.Millisecond))
-	if stats.Errors > 0 {
+	if stats.Errors > 0 || badNames > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeSpec writes one translated specification as <name>.spec inside the
+// output directory. The name is validated first: a crafted corpus entry
+// like "../x.png" (stem "../x") must never place a file outside out.
+func writeSpec(out, name, spec string) error {
+	if err := batch.SafeName(name); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(out, name+".spec"), []byte(spec), 0o644)
 }

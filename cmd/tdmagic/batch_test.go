@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWriteSpecRejectsTraversal pins the path-traversal fix: a corpus
+// entry whose stem carries separators or directory references (a file
+// literally named "../escape.png", or "...png" whose stem is "..") must
+// never produce a file outside the output directory.
+func TestWriteSpecRejectsTraversal(t *testing.T) {
+	root := t.TempDir()
+	out := filepath.Join(root, "out")
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"../escape", "..", ".", "", "a/b", `a\b`, "x\x00y",
+	} {
+		if err := writeSpec(out, name, "spec"); err == nil {
+			t.Errorf("writeSpec accepted unsafe name %q", name)
+		}
+	}
+	// Nothing may have landed outside out (notably root/escape.spec).
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out" {
+		t.Fatalf("unsafe names escaped the output directory: %v", entries)
+	}
+	if got, err := os.ReadDir(out); err != nil || len(got) != 0 {
+		t.Fatalf("unsafe names wrote into the output directory: %v (%v)", got, err)
+	}
+
+	if err := writeSpec(out, "ok-name", "G ABC\n"); err != nil {
+		t.Fatalf("writeSpec rejected a safe name: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "ok-name.spec"))
+	if err != nil || string(data) != "G ABC\n" {
+		t.Fatalf("spec not written: %q, %v", data, err)
+	}
+}

@@ -10,7 +10,11 @@
 //
 //	POST /v1/translate        one PNG body -> SPO JSON + diagnostics
 //	POST /v1/translate/batch  multipart/form-data PNG parts -> JSON array
+//	POST   /v1/jobs              durable async job (with -jobs; multipart or manifest)
+//	GET    /v1/jobs/{id}         job status; /results streams ordered NDJSON
+//	DELETE /v1/jobs/{id}         cancel a job
 //	GET  /healthz             liveness probe
+//	GET  /readyz              readiness probe (503 while draining or store unwritable)
 //	GET  /metrics             Prometheus text metrics
 //	GET  /version             build identity
 //	GET  /debug/pprof/*       runtime profiles
@@ -26,6 +30,12 @@
 // SIGINT the listener closes and in-flight requests drain gracefully for
 // up to -drain before the process exits.
 //
+// With -jobs DIR (requires -store) the server additionally runs the
+// durable job engine: submitted corpora are journaled under DIR, survive
+// crashes and restarts (a restarted replica resumes every unfinished job,
+// retranslating only items whose artifact never reached the store), and
+// retry flaky items with capped backoff before quarantining them.
+//
 // Train a model first with tdtrain.
 package main
 
@@ -40,6 +50,8 @@ import (
 	"time"
 
 	"tdmagic/internal/core"
+	"tdmagic/internal/jobs"
+	"tdmagic/internal/metrics"
 	"tdmagic/internal/obs"
 	"tdmagic/internal/serve"
 	"tdmagic/internal/store"
@@ -56,6 +68,12 @@ func main() {
 		queue       = flag.Int("queue", 0, "requests allowed to wait for a worker before 429 (0 = 4x workers)")
 		cache       = flag.Int("cache", 256, "result-cache entries keyed by picture content (-1 disables)")
 		storeDir    = flag.String("store", "", "persistent content-addressed artifact store behind the in-memory cache; survives restarts and is shared with tdmagic -batch")
+		jobsDir     = flag.String("jobs", "", "durable job journal directory; enables the async /v1/jobs API (requires -store)")
+		jobsRoot    = flag.String("jobs-manifest-root", "", "directory manifest-style job submissions may reference; empty restricts /v1/jobs to uploads")
+		jobsWorkers = flag.Int("jobs-workers", 0, "concurrent job item translations (0 = GOMAXPROCS)")
+		jobsRetries = flag.Int("jobs-attempts", 3, "attempts before an item is quarantined")
+		jobsLease   = flag.Duration("jobs-lease", 30*time.Second, "item lease duration before a silent worker is presumed dead")
+		jobsPause   = flag.Duration("jobs-throttle", 0, "pause before each job item attempt (rate limit)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request translation deadline")
 		maxBody     = flag.Int64("max-body", 32<<20, "largest accepted PNG body in bytes")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
@@ -94,6 +112,30 @@ func main() {
 	}
 	if !*quiet {
 		cfg.Logger = obs.NewLogger(os.Stderr, nil)
+	}
+	if *jobsDir != "" {
+		if cfg.Store == nil {
+			log.Fatal("-jobs requires -store: the artifact store is what makes job resume incremental")
+		}
+		// The job service shares the serving registry and logger, and a
+		// metrics registry must exist before serve.New claims it.
+		if cfg.Registry == nil {
+			cfg.Registry = metrics.NewRegistry()
+		}
+		js, err := jobs.Open(*jobsDir, pipe, cfg.Store, jobs.Config{
+			Workers:     *jobsWorkers,
+			LeaseTTL:    *jobsLease,
+			MaxAttempts: *jobsRetries,
+			Timeout:     *timeout,
+			Throttle:    *jobsPause,
+			Registry:    cfg.Registry,
+			Logger:      cfg.Logger,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Jobs = js
+		cfg.JobsManifestRoot = *jobsRoot
 	}
 	srv := serve.New(pipe, cfg)
 	bound, err := srv.Start(*addr)

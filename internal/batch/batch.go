@@ -131,6 +131,13 @@ type Options struct {
 	Do func(ctx context.Context, it Item) Result
 }
 
+// FaultHook, when non-nil, runs at the start of every item processed
+// through the default path of Process; a non-nil return fails the item as
+// if preparation had failed. It is a build-tag-free fault-injection seam
+// for the robustness tests (decode errors, flaky sources) and must only
+// be set before any executor is running.
+var FaultHook func(it Item) error
+
 // Run pulls items from src, processes them on a bounded worker pool and
 // calls emit once per item in input order. It returns when the source is
 // drained, the context is cancelled, the source fails, or emit returns an
@@ -189,7 +196,7 @@ func Run(ctx context.Context, pipe *core.Pipeline, src Source, opts Options, emi
 		go func() {
 			defer wg.Done()
 			for it := range jobs {
-				r := runItem(rctx, pipe, it, &opts)
+				r := Process(rctx, pipe, it, opts)
 				select {
 				case results <- r:
 				case <-rctx.Done():
@@ -248,9 +255,13 @@ func Run(ctx context.Context, pipe *core.Pipeline, src Source, opts Options, emi
 	return stats, nil
 }
 
-// runItem processes one item: resolve the picture, consult the store,
-// translate on a miss, persist the artifact.
-func runItem(ctx context.Context, pipe *core.Pipeline, it Item, opts *Options) Result {
+// Process runs one item through the full per-item path — resolve the
+// picture, consult the store, translate on a miss, persist the artifact —
+// and returns its Result. Run calls it from the worker pool; the jobs
+// service calls it directly for each lease-held attempt, so both
+// execution surfaces share one store discipline (alias index, hit
+// validation, atomic persist, errors never stored).
+func Process(ctx context.Context, pipe *core.Pipeline, it Item, opts Options) Result {
 	if opts.Do != nil {
 		r := opts.Do(ctx, it)
 		r.Index, r.Name = it.Index, it.Name
@@ -260,6 +271,12 @@ func runItem(ctx context.Context, pipe *core.Pipeline, it Item, opts *Options) R
 	if it.Err != nil {
 		r.Err = it.Err
 		return r
+	}
+	if FaultHook != nil {
+		if err := FaultHook(it); err != nil {
+			r.Err = fmt.Errorf("batch: %s: %w", it.Name, err)
+			return r
+		}
 	}
 
 	img := it.Image
@@ -360,7 +377,7 @@ func runItem(ctx context.Context, pipe *core.Pipeline, it Item, opts *Options) R
 // hitResult tries to resolve r from the store; ok reports success. A
 // corrupt or schema-short artifact (no SPO, or a missing report when the
 // consumer needs one) is treated as a miss and overwritten by the re-run.
-func hitResult(r Result, input store.Hash, opts *Options) (Result, bool) {
+func hitResult(r Result, input store.Hash, opts Options) (Result, bool) {
 	data, ok := opts.Store.Get(opts.Config, input)
 	if !ok {
 		return r, false

@@ -365,3 +365,50 @@ func TestManifestSource(t *testing.T) {
 		t.Errorf("names = %s, %s", out[0].Name, out[1].Name)
 	}
 }
+
+// TestSafeName pins the item-name guard behind every path the executor's
+// results are written to.
+func TestSafeName(t *testing.T) {
+	for _, name := range []string{"", ".", "..", "a/b", `a\b`, "x\x00y", "ctl\x1f"} {
+		if err := batch.SafeName(name); err == nil {
+			t.Errorf("SafeName(%q) accepted", name)
+		}
+	}
+	for _, name := range []string{"img-001", "a.b", "spaced name", "..a", "UPPER_case-07"} {
+		if err := batch.SafeName(name); err != nil {
+			t.Errorf("SafeName(%q) rejected: %v", name, err)
+		}
+	}
+}
+
+// TestFaultHookFailsItems pins the executor's fault-injection seam: a
+// hook failing selected items turns exactly those into per-item errors
+// without disturbing the rest of the stream or its ordering.
+func TestFaultHookFailsItems(t *testing.T) {
+	pipe := setup(t)
+	batch.FaultHook = func(it batch.Item) error {
+		if it.Index%2 == 1 {
+			return errors.New("injected item fault")
+		}
+		return nil
+	}
+	defer func() { batch.FaultHook = nil }()
+
+	const n = 6
+	out, stats := collect(t, pipe, genSource(n), batch.Options{Workers: 3})
+	if stats.Errors != n/2 {
+		t.Fatalf("errors = %d, want %d", stats.Errors, n/2)
+	}
+	for i, r := range out {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if i%2 == 1 {
+			if r.Err == nil || !strings.Contains(r.Err.Error(), "injected item fault") {
+				t.Errorf("item %d: err = %v, want the injected fault", i, r.Err)
+			}
+		} else if r.Err != nil {
+			t.Errorf("item %d failed: %v", i, r.Err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -34,6 +35,28 @@ type Item struct {
 	Open func() (io.ReadCloser, error)
 	// Err is a source-level preparation failure for this item.
 	Err error
+}
+
+// SafeName reports whether an item name is safe to embed as a single
+// path component (e.g. "<name>.spec" under an output directory, or an
+// uploaded picture file in a job's input directory). Names containing
+// path separators, NUL or control bytes, and the directory references "."
+// and ".." are rejected — a manifest or multipart item named "../x" must
+// never escape the directory it is written into.
+func SafeName(name string) error {
+	switch name {
+	case "":
+		return errors.New("batch: empty item name")
+	case ".", "..":
+		return fmt.Errorf("batch: unsafe item name %q", name)
+	}
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; {
+		case c == '/' || c == '\\' || c < ' ' || c == 0x7f:
+			return fmt.Errorf("batch: unsafe item name %q", name)
+		}
+	}
+	return nil
 }
 
 // Source enumerates a stream of items. Next returns io.EOF when the

@@ -1,0 +1,285 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tdmagic/internal/core"
+	"tdmagic/internal/metrics"
+	"tdmagic/internal/store"
+)
+
+// The SIGKILL crash test re-execs the test binary as a worker process:
+// TestMain diverts to childMain when the marker env var is set, so the
+// child runs the job service for real — separate address space, real
+// kill -9, no cooperation — while the parent watches its journal.
+const (
+	childEnv      = "TDJOBS_KILL_CHILD"
+	childModel    = "TDJOBS_MODEL"
+	childStore    = "TDJOBS_STORE"
+	childRoot     = "TDJOBS_ROOT"
+	childCorpus   = "TDJOBS_CORPUS"
+	childThrottle = "TDJOBS_THROTTLE"
+	childSubmit   = "TDJOBS_SUBMIT"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(childEnv) != "" {
+		childMain()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// childMain is the worker process: open the shared store and journal
+// root, submit the corpus (first generation) or resume whatever the
+// journal holds (second generation), wait for the job, and report how
+// many translations this process actually executed.
+func childMain() {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "child:", err)
+		os.Exit(1)
+	}
+	pipe, err := core.LoadFile(os.Getenv(childModel))
+	if err != nil {
+		fail(err)
+	}
+	reg := metrics.NewRegistry()
+	pipe.Metrics = core.NewPipelineMetrics(reg)
+	st, err := store.Open(os.Getenv(childStore))
+	if err != nil {
+		fail(err)
+	}
+	throttle, _ := time.ParseDuration(os.Getenv(childThrottle))
+	svc, err := Open(os.Getenv(childRoot), pipe, st, Config{
+		Workers:     2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  5 * time.Millisecond,
+		Throttle:    throttle,
+	})
+	if err != nil {
+		fail(err)
+	}
+	var id string
+	if os.Getenv(childSubmit) == "1" {
+		entries, err := os.ReadDir(os.Getenv(childCorpus))
+		if err != nil {
+			fail(err)
+		}
+		var specs []ItemSpec
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".png") {
+				continue
+			}
+			specs = append(specs, ItemSpec{
+				Name: strings.TrimSuffix(e.Name(), ".png"),
+				Path: filepath.Join(os.Getenv(childCorpus), e.Name()),
+			})
+		}
+		sn, err := svc.Submit(specs)
+		if err != nil {
+			fail(err)
+		}
+		id = sn.ID
+	} else {
+		list := svc.List()
+		if len(list) != 1 {
+			fail(fmt.Errorf("resumed %d jobs, want 1", len(list)))
+		}
+		id = list[0].ID
+	}
+	fmt.Printf("job=%s\n", id)
+	sn, err := svc.Wait(context.Background(), id)
+	if err != nil {
+		fail(err)
+	}
+	// Translations this process ran — the parent asserts the resumed
+	// generation redid only the items the journal did not show done.
+	fmt.Printf("state=%s translated=%d\n", sn.State, pipe.Metrics.Translations.Value())
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = svc.Close(ctx)
+	os.Exit(0)
+}
+
+// childCmd builds a child worker invocation of this test binary.
+func childCmd(t *testing.T, env map[string]string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), childEnv+"=1")
+	for k, v := range env {
+		cmd.Env = append(cmd.Env, k+"="+v)
+	}
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// TestKillNineResume is the end-to-end crash-safety proof: a real child
+// process running a throttled job is SIGKILLed mid-run, a second child
+// resumes the same journal and store, and the parent asserts that (a)
+// the resumed process retranslated only items the journal did not show
+// done at the kill, and (b) the final results are byte-identical to an
+// uninterrupted cold run of the same corpus.
+func TestKillNineResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test skipped in -short mode")
+	}
+	pipe := setup(t)
+	model := filepath.Join(t.TempDir(), "model.gob")
+	if err := pipe.SaveFile(model); err != nil {
+		t.Fatal(err)
+	}
+	paths := writeCorpus(t, 10)
+	corpus := filepath.Dir(paths[0])
+	storeDir, jobsDir := t.TempDir(), t.TempDir()
+
+	env := map[string]string{
+		childModel:    model,
+		childStore:    storeDir,
+		childRoot:     jobsDir,
+		childCorpus:   corpus,
+		childThrottle: "60ms",
+		childSubmit:   "1",
+	}
+	first := childCmd(t, env)
+	stdout, err := first.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	var id string
+	for sc.Scan() {
+		if v, ok := strings.CutPrefix(sc.Text(), "job="); ok {
+			id = v
+			break
+		}
+	}
+	if id == "" {
+		first.Process.Kill()
+		first.Wait()
+		t.Fatal("child never announced its job")
+	}
+
+	// Watch the journal until a few items are done, then kill -9. The
+	// journal is written by atomic rename, so a read mid-checkpoint sees
+	// the previous complete generation — retry handles the rename gap.
+	jobDir := filepath.Join(jobsDir, id)
+	doneAtKill := 0
+	deadline := time.Now().Add(120 * time.Second)
+	for doneAtKill < 3 {
+		if time.Now().After(deadline) {
+			first.Process.Kill()
+			first.Wait()
+			t.Fatal("child made no progress")
+		}
+		if rec, err := loadRecord(jobDir); err == nil {
+			doneAtKill = rec.stats().Done
+			if rec.State.Terminal() {
+				first.Wait()
+				t.Skip("job finished before the kill; throttle too low for this machine")
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := first.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	first.Wait()
+
+	// Second generation: same store, same journal, no throttle.
+	env[childThrottle] = "0"
+	env[childSubmit] = ""
+	second := childCmd(t, env)
+	out, err := second.Output()
+	if err != nil {
+		t.Fatalf("resume child: %v\n%s", err, out)
+	}
+	var state string
+	var translated int
+	for _, line := range strings.Split(string(out), "\n") {
+		if strings.HasPrefix(line, "state=") {
+			if _, err := fmt.Sscanf(line, "state=%s translated=%d", &state, &translated); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+		}
+	}
+	if state != string(StateDone) {
+		t.Fatalf("resumed job state = %q, want done\n%s", state, out)
+	}
+	// The resume invariant: items the journal showed done at the kill are
+	// never retranslated (their artifacts answer from the store). Items
+	// claimed-but-unfinished at the kill may legitimately rerun.
+	if max := len(paths) - doneAtKill; translated > max {
+		t.Errorf("resumed process translated %d items, want <= %d (done at kill: %d)",
+			translated, max, doneAtKill)
+	}
+	if translated == 0 {
+		t.Error("resumed process translated nothing; the kill window never opened")
+	}
+
+	// Byte-identical proof: stream the resumed job's results and compare
+	// against an uninterrupted in-process run over a fresh store.
+	st, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := Open(jobsDir, pipe, st, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeService(t, svc)
+	got := resultLines(t, svc, id)
+
+	cold, _, _ := newService(t, pipe, fastCfg())
+	defer closeService(t, cold)
+	csn, err := cold.Submit(pathSpecs(paths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, cold, csn.ID)
+	want := resultLines(t, cold, csn.ID)
+
+	// The streams may differ in job-independent framing only if the item
+	// sets diverge — normalise nothing, require bytes.
+	if !bytes.Equal(stripIndexes(t, got), stripIndexes(t, want)) {
+		t.Error("crash-resumed results differ from an uninterrupted run")
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("crash-resumed result stream is not byte-identical to the cold run")
+	}
+}
+
+// stripIndexes re-encodes a result stream without its index fields — a
+// diagnostic aid distinguishing "different specs" from "different
+// framing" when the byte-identity check fails.
+func stripIndexes(t *testing.T, ndjson []byte) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, line := range bytes.Split(bytes.TrimSpace(ndjson), []byte("\n")) {
+		var r ItemResult
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatal(err)
+		}
+		r.Index = 0
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	return out.Bytes()
+}

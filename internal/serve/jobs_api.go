@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"path/filepath"
+	"strings"
+
+	"tdmagic/internal/batch"
+	"tdmagic/internal/core"
+	"tdmagic/internal/jobs"
+)
+
+// The durable job API. Where /v1/translate answers inline under a
+// deadline, /v1/jobs accepts a corpus, journals it, and answers 202: the
+// job service translates it asynchronously with leases, retries and
+// crash-safe resume, and the client polls status and streams results.
+//
+//	POST   /v1/jobs              multipart PNG parts, or JSON {"manifest": [paths]}
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         status snapshot (?items=1 for per-item states)
+//	GET    /v1/jobs/{id}/results ordered NDJSON stream, one ItemResult per line
+//	DELETE /v1/jobs/{id}         cancel
+
+// jobSubmission is the JSON body of a manifest-style submission.
+type jobSubmission struct {
+	// Manifest lists picture paths relative to the server's configured
+	// manifest root.
+	Manifest []string `json:"manifest"`
+}
+
+// handleJobs serves the /v1/jobs collection: POST submits, GET lists.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleJobSubmit(w, r)
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Jobs []jobs.Snapshot `json:"jobs"`
+		}{s.cfg.Jobs.List()})
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, "POST a job or GET the job list", nil)
+	}
+}
+
+// handleJobSubmit accepts a job as either multipart/form-data (PNG file
+// parts, persisted under the job directory) or application/json (a
+// manifest of paths under the configured manifest root).
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	mediaType, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil {
+		s.badRequests.Inc()
+		s.writeError(w, http.StatusBadRequest, "unreadable content type", nil)
+		return
+	}
+	var specs []jobs.ItemSpec
+	switch {
+	case mediaType == "multipart/form-data":
+		specs, err = s.collectUploadSpecs(multipart.NewReader(r.Body, params["boundary"]))
+	case mediaType == "application/json":
+		specs, err = s.collectManifestSpecs(r.Body)
+	default:
+		err = errors.New("content type must be multipart/form-data or application/json")
+	}
+	if err != nil {
+		s.badRequests.Inc()
+		s.writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	sn, err := s.cfg.Jobs.Submit(specs)
+	if err != nil {
+		if errors.Is(err, jobs.ErrClosed) {
+			s.writeError(w, http.StatusServiceUnavailable, "service is draining", nil)
+			return
+		}
+		s.badRequests.Inc()
+		s.writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+sn.ID)
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(sn)
+}
+
+// collectUploadSpecs reads multipart PNG parts into item specs. Each part
+// is buffered one at a time (never the whole upload), size-capped, and
+// screened with the same magic + IHDR raster check as the synchronous
+// endpoints before a byte is accepted into the job.
+func (s *Server) collectUploadSpecs(mr *multipart.Reader) ([]jobs.ItemSpec, error) {
+	var specs []jobs.ItemSpec
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			return specs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read multipart body: %w", err)
+		}
+		name := part.FileName()
+		if name == "" {
+			name = part.FormName()
+		}
+		name = strings.TrimSuffix(name, filepath.Ext(name))
+		if err := batch.SafeName(name); err != nil {
+			part.Close()
+			return nil, err
+		}
+		data, err := io.ReadAll(io.LimitReader(part, s.cfg.MaxBodyBytes+1))
+		part.Close()
+		if err != nil {
+			return nil, fmt.Errorf("read part %q: %w", name, err)
+		}
+		if int64(len(data)) > s.cfg.MaxBodyBytes {
+			return nil, fmt.Errorf("part %q exceeds the %d-byte limit", name, s.cfg.MaxBodyBytes)
+		}
+		if msg := screenPNG(data); msg != "" {
+			return nil, fmt.Errorf("part %q: %s", name, msg)
+		}
+		specs = append(specs, jobs.ItemSpec{Name: name, Data: bytes.NewReader(data)})
+	}
+}
+
+// screenPNG applies the cheap pre-decode screening (PNG signature, IHDR
+// raster bound) to an uploaded job item; full decoding happens on a job
+// worker under its own deadline.
+func screenPNG(data []byte) string {
+	if len(data) < 24 || [8]byte(data[:8]) != pngMagic {
+		return "not a PNG"
+	}
+	width := int64(binary.BigEndian.Uint32(data[16:20]))
+	height := int64(binary.BigEndian.Uint32(data[20:24]))
+	if width <= 0 || height <= 0 || width*height > core.MaxPixels {
+		return fmt.Sprintf("declared %dx%d raster exceeds the %d-pixel limit", width, height, core.MaxPixels)
+	}
+	return ""
+}
+
+// collectManifestSpecs reads a JSON manifest submission, resolving every
+// path under the configured manifest root and refusing any that would
+// escape it.
+func (s *Server) collectManifestSpecs(body io.Reader) ([]jobs.ItemSpec, error) {
+	if s.cfg.JobsManifestRoot == "" {
+		return nil, errors.New("manifest submissions are not enabled on this server")
+	}
+	var sub jobSubmission
+	dec := json.NewDecoder(io.LimitReader(body, 1<<20))
+	if err := dec.Decode(&sub); err != nil {
+		return nil, fmt.Errorf("decode submission: %w", err)
+	}
+	if len(sub.Manifest) == 0 {
+		return nil, errors.New("empty manifest")
+	}
+	specs := make([]jobs.ItemSpec, len(sub.Manifest))
+	for i, p := range sub.Manifest {
+		if filepath.IsAbs(p) || !filepath.IsLocal(p) {
+			return nil, fmt.Errorf("manifest path %q escapes the manifest root", p)
+		}
+		name := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		if err := batch.SafeName(name); err != nil {
+			return nil, err
+		}
+		specs[i] = jobs.ItemSpec{Name: name, Path: filepath.Join(s.cfg.JobsManifestRoot, p)}
+	}
+	return specs, nil
+}
+
+// handleJob serves one job's resources: GET status, GET results, DELETE.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || (sub != "" && sub != "results") {
+		s.writeError(w, http.StatusNotFound, "no such resource", nil)
+		return
+	}
+	switch {
+	case sub == "results" && r.Method == http.MethodGet:
+		s.handleJobResults(w, id)
+	case sub == "" && r.Method == http.MethodGet:
+		sn, ok := s.cfg.Jobs.Get(id, r.URL.Query().Get("items") == "1")
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "no such job", nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sn)
+	case sub == "" && r.Method == http.MethodDelete:
+		sn, err := s.cfg.Jobs.Cancel(id)
+		if err != nil {
+			s.writeError(w, http.StatusNotFound, "no such job", nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(sn)
+	default:
+		s.writeError(w, http.StatusMethodNotAllowed, "GET status or results, DELETE to cancel", nil)
+	}
+}
+
+// handleJobResults streams a terminal job's ordered results as NDJSON:
+// one jobs.ItemResult per line, in submission order, replayed from the
+// artifact store. The stream of a resumed job is byte-identical to an
+// uninterrupted run — the encoding carries nothing run-volatile.
+func (s *Server) handleJobResults(w http.ResponseWriter, id string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	err := s.cfg.Jobs.Results(id, func(r jobs.ItemResult) error {
+		return enc.Encode(r)
+	})
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		s.writeError(w, http.StatusNotFound, "no such job", nil)
+	case errors.Is(err, jobs.ErrRunning):
+		s.writeError(w, http.StatusConflict, "job is still running; poll its status", nil)
+	}
+}

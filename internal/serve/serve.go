@@ -9,7 +9,12 @@
 //
 //	POST /v1/translate        PNG body in, SPO JSON + diagnostics out
 //	POST /v1/translate/batch  multipart/form-data of PNG files, JSON array out
+//	POST   /v1/jobs              submit a durable async job (multipart or manifest)
+//	GET    /v1/jobs/{id}         job status (?items=1 for per-item detail)
+//	GET    /v1/jobs/{id}/results ordered NDJSON result stream (terminal jobs)
+//	DELETE /v1/jobs/{id}         cancel a job
 //	GET  /healthz             liveness + model summary
+//	GET  /readyz              readiness: 503 while draining or store unwritable
 //	GET  /metrics             Prometheus text exposition
 //	GET  /version             build identity (module version, VCS revision)
 //	GET  /debug/pprof/*       runtime profiles
@@ -39,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"mime"
 	"mime/multipart"
 	"net"
@@ -49,10 +55,13 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"tdmagic/internal/batch"
 	"tdmagic/internal/core"
 	"tdmagic/internal/diag"
 	"tdmagic/internal/imgproc"
+	"tdmagic/internal/jobs"
 	"tdmagic/internal/metrics"
 	"tdmagic/internal/obs"
 	"tdmagic/internal/store"
@@ -88,6 +97,16 @@ type Config struct {
 	// serving fleet warms the same corpus cache that tdmagic -batch and
 	// tdeval read.
 	Store *store.Store
+	// Jobs, when non-nil, mounts the durable async job API (/v1/jobs) over
+	// this service; the job service should share Store and Registry so
+	// interactive and corpus traffic warm one cache and one exposition.
+	// Shutdown drains it after the HTTP listener.
+	Jobs *jobs.Service
+	// JobsManifestRoot, when non-empty, permits manifest-style job
+	// submissions referencing picture files under this directory (paths are
+	// resolved against it and must not escape it). Empty restricts /v1/jobs
+	// to multipart uploads.
+	JobsManifestRoot string
 	// Registry receives the service and pipeline metrics; nil creates a
 	// private registry.
 	Registry *metrics.Registry
@@ -135,6 +154,7 @@ type Server struct {
 	httpSrv  *http.Server
 	listener net.Listener
 	startMu  sync.Mutex
+	draining atomic.Bool
 
 	requests    *metrics.Counter
 	batchReqs   *metrics.Counter
@@ -198,7 +218,12 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/translate", s.handleTranslate)
 	s.mux.HandleFunc("/v1/translate/batch", s.handleBatch)
+	if cfg.Jobs != nil {
+		s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+		s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/version", s.handleVersion)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -315,17 +340,27 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Shutdown drains the service gracefully: the listener stops accepting,
-// every in-flight request (including queued translations) runs to
-// completion, and only then does Shutdown return. ctx bounds the drain.
+// Shutdown drains the service gracefully: /readyz flips to 503 (so a
+// load balancer stops routing new traffic), the listener stops
+// accepting, every in-flight request (including queued translations)
+// runs to completion, and the job service — if one is mounted — stops
+// dispatching, finishes its in-flight items and checkpoints every job's
+// journal for an exact resume. ctx bounds the whole drain.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.startMu.Lock()
 	srv := s.httpSrv
 	s.startMu.Unlock()
-	if srv == nil {
-		return nil
+	var err error
+	if srv != nil {
+		err = srv.Shutdown(ctx)
 	}
-	return srv.Shutdown(ctx)
+	if s.cfg.Jobs != nil {
+		if jerr := s.cfg.Jobs.Close(ctx); err == nil {
+			err = jerr
+		}
+	}
+	return err
 }
 
 // errQueueFull is returned by acquire when the wait queue is at capacity.
@@ -701,11 +736,38 @@ func itemResultFrom(name string, res processResult) ItemResult {
 	return item
 }
 
-// handleHealthz serves the liveness probe.
+// handleHealthz serves the liveness probe: the process is up and the
+// handler loop responsive. It deliberately stays 200 while draining —
+// liveness restarts a dead replica, readiness routes traffic, and
+// conflating them makes an orchestrator kill a replica that is merely
+// finishing its queue.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"status":"ok","workers":%d,"queue_depth":%d,"cache_entries":%d}%s`,
 		s.cfg.Workers, s.cfg.QueueDepth, s.cache.len(), "\n")
+}
+
+// handleReadyz serves the readiness probe: 503 while the replica is
+// draining (so the balancer routes around a shutting-down instance) and
+// 503 when the persistent store stops taking writes — a replica that can
+// only recompute is a cache stampede waiting to happen.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.ProbeWritable(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{
+				"status": "store-unwritable", "error": err.Error(),
+			})
+			return
+		}
+	}
+	fmt.Fprintln(w, `{"status":"ready"}`)
 }
 
 // handleMetrics serves the text exposition of every registered metric,
@@ -732,7 +794,7 @@ func (s *Server) writeResult(w http.ResponseWriter, res processResult) {
 		w.Header().Set("X-Cache", "miss")
 	}
 	if res.status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Timeout))
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
@@ -741,12 +803,28 @@ func (s *Server) writeResult(w http.ResponseWriter, res processResult) {
 	}
 }
 
-// retryAfterSeconds suggests retrying after roughly one translation
-// deadline — by then at least one queue slot must have turned over.
-func retryAfterSeconds(timeout time.Duration) string {
-	secs := int(timeout / time.Second)
+// retryAfterSeconds estimates when a queue slot will actually be free
+// for the rejected caller: the wait queue must drain (queued+1 requests
+// ahead of it across Workers slots, each turning over in roughly the
+// observed mean translation latency) before a retry can be admitted.
+// With no latency samples yet the per-item estimate falls back to the
+// configured deadline — the pessimistic bound the old fixed hint used.
+// The result is clamped to [1s, Timeout]: never "come back in 0s" under
+// a momentary blip, never further out than one worst-case translation.
+func (s *Server) retryAfterSeconds() string {
+	per := s.cfg.Timeout.Seconds()
+	if m := s.pipe.Metrics; m != nil && m.Latency != nil {
+		if n := m.Latency.Count(); n > 0 {
+			per = m.Latency.Sum() / float64(n)
+		}
+	}
+	turns := (float64(s.queued.Value()+1) + float64(s.cfg.Workers) - 1) / float64(s.cfg.Workers)
+	secs := int(math.Ceil(per * turns))
 	if secs < 1 {
 		secs = 1
+	}
+	if max := int(s.cfg.Timeout / time.Second); max >= 1 && secs > max {
+		secs = max
 	}
 	return strconv.Itoa(secs)
 }

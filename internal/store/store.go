@@ -123,6 +123,34 @@ func (s *Store) aliasPath(raw Hash) string {
 	return filepath.Join(s.root, "alias", rh[:2], rh+".key")
 }
 
+// FaultHook, when non-nil, is consulted before every atomic write
+// commits, with the operation kind ("put", "alias") and the destination
+// path; a non-nil return aborts the write with that error. It is a
+// build-tag-free fault-injection seam for the robustness tests (full
+// disk, read-only store) and must only be set while no writer is running.
+var FaultHook func(op, path string) error
+
+// ProbeWritable verifies the store can still take writes by staging and
+// removing a probe file in the tmp/ area — the readiness signal a load
+// balancer should see before routing corpus traffic at a replica.
+func (s *Store) ProbeWritable() error {
+	f, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "probe-*")
+	if err != nil {
+		return fmt.Errorf("store: not writable: %w", err)
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("probe"))
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return fmt.Errorf("store: not writable: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: not writable: %w", cerr)
+	}
+	return nil
+}
+
 // Get returns the artifact stored under (cfg, input). Any read failure —
 // missing, unreadable, truncated by an external actor — reports a miss;
 // the caller recomputes and the next Put heals the entry.
@@ -144,7 +172,7 @@ func (s *Store) Has(cfg, input Hash) bool {
 // tmp/ and renamed into place, so a concurrent or crashed reader never
 // sees a partial artifact.
 func (s *Store) Put(cfg, input Hash, data []byte) error {
-	return s.writeAtomic(s.objPath(cfg, input), data)
+	return s.writeAtomic("put", s.objPath(cfg, input), data)
 }
 
 // Remove deletes the artifact under (cfg, input); missing entries are not
@@ -173,7 +201,7 @@ func (s *Store) GetAlias(raw Hash) (Hash, bool) {
 
 // PutAlias records raw -> input in the alias index, atomically.
 func (s *Store) PutAlias(raw, input Hash) error {
-	return s.writeAtomic(s.aliasPath(raw), []byte(input.Hex()+"\n"))
+	return s.writeAtomic("alias", s.aliasPath(raw), []byte(input.Hex()+"\n"))
 }
 
 // Count returns the number of artifacts stored under one config hash.
@@ -203,7 +231,12 @@ func (s *Store) Count(cfg Hash) (int, error) {
 
 // writeAtomic stages data in tmp/ and renames it to path, creating the
 // destination shard directory on demand.
-func (s *Store) writeAtomic(path string, data []byte) error {
+func (s *Store) writeAtomic(op, path string, data []byte) error {
+	if FaultHook != nil {
+		if err := FaultHook(op, path); err != nil {
+			return fmt.Errorf("store: %s %s: %w", op, path, err)
+		}
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -165,5 +166,66 @@ func TestCorruptAliasIsMiss(t *testing.T) {
 	}
 	if _, ok := s.GetAlias(raw); ok {
 		t.Error("corrupt alias resolved")
+	}
+}
+
+// TestFaultHookAbortsWrites pins the fault-injection seam: a hook
+// failing "put" operations makes Put error without committing anything,
+// while alias writes stay unaffected — and clearing the hook heals the
+// store with no residue from the failed attempts.
+func TestFaultHookAbortsWrites(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	FaultHook = func(op, path string) error {
+		if op == "put" {
+			return errors.New("injected disk-full")
+		}
+		return nil
+	}
+	defer func() { FaultHook = nil }()
+
+	cfg, input := HashBytes([]byte("cfg")), HashBytes([]byte("input"))
+	if err := s.Put(cfg, input, []byte("artifact")); err == nil {
+		t.Fatal("Put succeeded under an injected write fault")
+	}
+	if s.Has(cfg, input) {
+		t.Fatal("failed Put left a committed artifact")
+	}
+	raw := HashBytes([]byte("raw"))
+	if err := s.PutAlias(raw, input); err != nil {
+		t.Fatalf("alias write hit the put-only fault: %v", err)
+	}
+
+	FaultHook = nil
+	if err := s.Put(cfg, input, []byte("artifact")); err != nil {
+		t.Fatalf("Put after clearing the fault: %v", err)
+	}
+	if got, ok := s.Get(cfg, input); !ok || string(got) != "artifact" {
+		t.Fatalf("healed store Get = %q, %v", got, ok)
+	}
+}
+
+// TestProbeWritable pins the readiness probe: writable store probes
+// clean and leaves no residue; a store whose staging area is gone fails.
+func TestProbeWritable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ProbeWritable(); err != nil {
+		t.Fatalf("fresh store not writable: %v", err)
+	}
+	left, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil || len(left) != 0 {
+		t.Fatalf("probe left residue: %v, %v", left, err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir, "tmp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ProbeWritable(); err == nil {
+		t.Fatal("store without a staging area probed writable")
 	}
 }
