@@ -231,7 +231,9 @@ EOF
 start_jobs_server() { # $1 out-file, extra flags follow
 	out=$1
 	shift
-	"$tmp/tdserve" -model "$tmp/model.gob" -addr 127.0.0.1:0 -quiet \
+	# Deliberately not -quiet: the job lifecycle logger once self-deadlocked
+	# the scheduler, and only a logging server exercises that path.
+	"$tmp/tdserve" -model "$tmp/model.gob" -addr 127.0.0.1:0 \
 		-store "$tmp/jobstore" -jobs "$tmp/jobroot" \
 		-jobs-manifest-root "$tmp/corpus" -jobs-workers 2 "$@" \
 		>"$out" 2>"$out.err" &

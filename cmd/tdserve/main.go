@@ -76,6 +76,7 @@ func main() {
 		jobsPause   = flag.Duration("jobs-throttle", 0, "pause before each job item attempt (rate limit)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request translation deadline")
 		maxBody     = flag.Int64("max-body", 32<<20, "largest accepted PNG body in bytes")
+		maxJobBody  = flag.Int64("max-job-body", 256<<20, "largest accepted /v1/jobs multipart upload in bytes (the server's per-request memory exposure)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
 		intraW      = flag.Int("intra-workers", 1, "goroutines tiling the perception kernels within each picture (default 1: the worker pool already runs one picture per core; raise only on big machines serving single hot requests)")
@@ -97,11 +98,12 @@ func main() {
 	pipe.IntraWorkers = *intraW
 
 	cfg := serve.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		Timeout:      *timeout,
-		MaxBodyBytes: *maxBody,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		Timeout:         *timeout,
+		MaxBodyBytes:    *maxBody,
+		MaxJobBodyBytes: *maxJobBody,
 	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)

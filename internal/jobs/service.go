@@ -199,6 +199,10 @@ func Open(dir string, pipe *core.Pipeline, st *store.Store, cfg Config) (*Servic
 
 func workerCount(w int) int { return parallel.Resolve(w) }
 
+// MaxItems reports the per-job item limit, so front ends can reject an
+// oversized submission while reading it instead of after buffering it.
+func (s *Service) MaxItems() int { return s.cfg.MaxItems }
+
 // recover scans the root for journaled jobs and resumes the live ones.
 func (s *Service) recover() error {
 	entries, err := os.ReadDir(s.root)
@@ -226,7 +230,7 @@ func (s *Service) recover() error {
 				Error:   "journal unrecoverable: " + err.Error(),
 				Created: time.Now().UnixNano()}
 			_ = writeRecord(dir, rec)
-			s.track(rec, dir)
+			s.track(rec, dir).closeTerminal()
 			continue
 		}
 		rec.ID = id // the directory is authoritative
@@ -455,7 +459,7 @@ func (s *Service) Cancel(id string) (Snapshot, error) {
 	j.mu.Lock()
 	if !j.rec.State.Terminal() {
 		j.setTerminalLocked(StateCancelled, "")
-		s.logJob(j, "job cancelled")
+		s.logJobLocked(j, "job cancelled")
 	}
 	j.mu.Unlock()
 	j.cancel()
@@ -517,6 +521,16 @@ func (s *Service) Results(id string, fn func(ItemResult) error) error {
 	return nil
 }
 
+// draining reports whether the service drain has begun.
+func (s *Service) draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
+}
+
 // Close drains the service: no new submissions, no new item dispatches,
 // in-flight attempts run to completion (bounded by the per-item
 // timeout), and every live job checkpoints its journal so a reopened
@@ -541,14 +555,25 @@ func (s *Service) Close(ctx context.Context) error {
 	}
 }
 
-// logJob emits one lifecycle log line.
+// logJob emits one lifecycle log line. The caller must NOT hold j.mu.
 func (s *Service) logJob(j *job, msg string) {
 	if s.cfg.Logger == nil {
 		return
 	}
-	st := j.snapshot(false)
+	s.logSnapshot(j.id, j.snapshot(false), msg)
+}
+
+// logJobLocked is logJob for callers already holding j.mu.
+func (s *Service) logJobLocked(j *job, msg string) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	s.logSnapshot(j.id, j.snapshotLocked(false), msg)
+}
+
+func (s *Service) logSnapshot(id string, st Snapshot, msg string) {
 	s.cfg.Logger.Info(msg,
-		slog.String("job", j.id),
+		slog.String("job", id),
 		slog.String("state", string(st.State)),
 		slog.Int("items", st.Stats.Total),
 		slog.Int("done", st.Stats.Done),
@@ -563,6 +588,11 @@ func (s *Service) logJob(j *job, msg string) {
 func (j *job) snapshot(withItems bool) Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.snapshotLocked(withItems)
+}
+
+// snapshotLocked is snapshot for callers already holding j.mu.
+func (j *job) snapshotLocked(withItems bool) Snapshot {
 	sn := Snapshot{
 		ID: j.rec.ID, State: j.rec.State, Error: j.rec.Error,
 		Created: j.rec.Created, Updated: j.rec.Updated,
@@ -713,7 +743,7 @@ func (j *job) run() {
 			} else {
 				j.setTerminalLocked(StateDone, "")
 			}
-			j.svc.logJob(j, "job finished")
+			j.svc.logJobLocked(j, "job finished")
 		}
 		if j.rec.State.Terminal() {
 			if j.inflight == 0 {
@@ -743,6 +773,17 @@ func (j *job) run() {
 		if idx < 0 {
 			j.sleepUntil(next)
 			continue
+		}
+		// Drain wins over dispatch: once the service is draining, a ready
+		// sem slot must not race the drain case (select picks randomly
+		// among ready cases), or dispatch would stop only probabilistically.
+		select {
+		case <-j.svc.drain:
+			j.mu.Lock()
+			j.draining = true
+			j.mu.Unlock()
+			continue
+		default:
 		}
 		select {
 		case j.svc.sem <- struct{}{}:
@@ -795,7 +836,7 @@ func (j *job) sleepUntil(next time.Time) {
 func (j *job) claim(idx int) {
 	j.mu.Lock()
 	it := &j.rec.Items[idx]
-	if it.State != ItemPending || j.rec.State.Terminal() || j.draining || j.ctx.Err() != nil {
+	if it.State != ItemPending || j.rec.State.Terminal() || j.draining || j.svc.draining() || j.ctx.Err() != nil {
 		j.mu.Unlock()
 		<-j.svc.sem
 		return

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -777,5 +779,91 @@ func TestConfigMismatchRefused(t *testing.T) {
 	}
 	if got.State != StateFailed || !strings.Contains(got.Error, "configuration changed") {
 		t.Fatalf("state=%s error=%q", got.State, got.Error)
+	}
+}
+
+// TestLoggerNoDeadlock runs the full lifecycle with a logger attached.
+// The "job finished" and "job cancelled" lines are emitted under j.mu;
+// before the snapshotLocked split they re-locked it, wedging the
+// scheduler goroutine with the job mutex held — exactly tdserve's
+// default (non -quiet) configuration, which no other test exercises.
+func TestLoggerNoDeadlock(t *testing.T) {
+	pipe := setup(t)
+	paths := writeCorpus(t, 3)
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	cfg := fastCfg()
+	cfg.Logger = logger
+	svc, _, _ := newService(t, pipe, cfg)
+	defer closeService(t, svc)
+	sn, err := svc.Submit(pathSpecs(paths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := svc.Wait(ctx, sn.ID)
+	if err != nil {
+		t.Fatalf("wait with logger attached: %v — scheduler deadlocked?", err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("state = %s (%s)", final.State, final.Error)
+	}
+
+	// The cancel path logs under the same lock discipline.
+	cfg2 := fastCfg()
+	cfg2.Workers = 1
+	cfg2.Throttle = 20 * time.Millisecond
+	cfg2.Logger = logger
+	svc2, _, _ := newService(t, pipe, cfg2)
+	defer closeService(t, svc2)
+	sn2, err := svc2.Submit(pathSpecs(paths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc2.Cancel(sn2.ID); err != nil {
+		t.Fatal(err)
+	}
+	final2, err := svc2.Wait(ctx, sn2.ID)
+	if err != nil {
+		t.Fatalf("wait after logged cancel: %v — scheduler deadlocked?", err)
+	}
+	if final2.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", final2.State)
+	}
+}
+
+// TestCorruptJournalReleasesWaiters corrupts both journal generations:
+// reopen parks the job failed, and Wait must return immediately — the
+// terminal channel closes even though the job never gets a scheduler.
+func TestCorruptJournalReleasesWaiters(t *testing.T) {
+	pipe := setup(t)
+	paths := writeCorpus(t, 2)
+	svc, storeDir, jobsDir := newService(t, pipe, fastCfg())
+	sn, err := svc.Submit(pathSpecs(paths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, svc, sn.ID)
+	closeService(t, svc)
+
+	for _, name := range []string{journalFile, journalPrev} {
+		if err := os.WriteFile(filepath.Join(jobsDir, sn.ID, name), []byte(`{"torn`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc2 := reopen(t, pipe, storeDir, jobsDir, fastCfg())
+	defer closeService(t, svc2)
+	got, ok := svc2.Get(sn.ID, false)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if got.State != StateFailed || !strings.Contains(got.Error, "journal unrecoverable") {
+		t.Fatalf("state=%s error=%q", got.State, got.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := svc2.Wait(ctx, sn.ID); err != nil {
+		t.Fatalf("Wait on a journal-corrupt job blocked: %v", err)
 	}
 }

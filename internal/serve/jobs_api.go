@@ -64,13 +64,24 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var specs []jobs.ItemSpec
 	switch {
 	case mediaType == "multipart/form-data":
-		specs, err = s.collectUploadSpecs(multipart.NewReader(r.Body, params["boundary"]))
+		// Part bytes accumulate in specs until Submit journals them, so
+		// the whole upload is bounded, not just each part: MaxBytesReader
+		// fails the read once the body exceeds the job-upload budget.
+		body := http.MaxBytesReader(w, r.Body, s.cfg.MaxJobBodyBytes)
+		specs, err = s.collectUploadSpecs(multipart.NewReader(body, params["boundary"]))
 	case mediaType == "application/json":
 		specs, err = s.collectManifestSpecs(r.Body)
 	default:
 		err = errors.New("content type must be multipart/form-data or application/json")
 	}
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.badRequests.Inc()
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("job upload exceeds the %d-byte limit", s.cfg.MaxJobBodyBytes), nil)
+			return
+		}
 		s.badRequests.Inc()
 		s.writeError(w, http.StatusBadRequest, err.Error(), nil)
 		return
@@ -91,11 +102,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(sn)
 }
 
-// collectUploadSpecs reads multipart PNG parts into item specs. Each part
-// is buffered one at a time (never the whole upload), size-capped, and
-// screened with the same magic + IHDR raster check as the synchronous
-// endpoints before a byte is accepted into the job.
+// collectUploadSpecs reads multipart PNG parts into item specs. Accepted
+// parts stay buffered until Submit journals the job, so the reader
+// enforces its limits while reading, before memory is committed: each
+// part is size-capped and screened with the same magic + IHDR raster
+// check as the synchronous endpoints, the part count is capped at the
+// job service's item limit, and the caller bounds the whole body.
 func (s *Server) collectUploadSpecs(mr *multipart.Reader) ([]jobs.ItemSpec, error) {
+	maxParts := s.cfg.Jobs.MaxItems()
 	var specs []jobs.ItemSpec
 	for {
 		part, err := mr.NextPart()
@@ -104,6 +118,10 @@ func (s *Server) collectUploadSpecs(mr *multipart.Reader) ([]jobs.ItemSpec, erro
 		}
 		if err != nil {
 			return nil, fmt.Errorf("read multipart body: %w", err)
+		}
+		if len(specs) >= maxParts {
+			part.Close()
+			return nil, fmt.Errorf("job exceeds the %d-item limit", maxParts)
 		}
 		name := part.FileName()
 		if name == "" {

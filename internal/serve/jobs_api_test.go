@@ -24,6 +24,13 @@ import (
 // fresh store and journal directories.
 func newJobsServer(t *testing.T, jcfg jobs.Config, manifestRoot string) (*Server, *httptest.Server) {
 	t.Helper()
+	return newJobsServerCfg(t, jcfg, func(c *Config) { c.JobsManifestRoot = manifestRoot })
+}
+
+// newJobsServerCfg is newJobsServer with a hook to adjust the serve
+// config (upload limits, manifest root) before the server starts.
+func newJobsServerCfg(t *testing.T, jcfg jobs.Config, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
 	pipe, _ := fixture(t)
 	pipe.Metrics = nil
 	st, err := store.Open(t.TempDir())
@@ -39,13 +46,16 @@ func newJobsServer(t *testing.T, jcfg jobs.Config, manifestRoot string) (*Server
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(pipe, Config{
-		Workers:          2,
-		Store:            st,
-		Jobs:             js,
-		JobsManifestRoot: manifestRoot,
-		Registry:         reg,
-	})
+	cfg := Config{
+		Workers:  2,
+		Store:    st,
+		Jobs:     js,
+		Registry: reg,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := New(pipe, cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -325,6 +335,47 @@ func TestJobsCancelAndConflict(t *testing.T) {
 	}
 	if final := pollJob(t, ts.URL, sn.ID); final.State != jobs.StateCancelled {
 		t.Fatalf("final = %+v", final)
+	}
+}
+
+// TestJobsUploadLimits pins the streamed-side guards on job uploads.
+// Accepted parts stay in memory until Submit, so both limits must trip
+// while the body is being read, not after it is buffered: the part count
+// is refused at the job service's item limit, and the whole multipart
+// body is bounded by MaxJobBodyBytes with a 413.
+func TestJobsUploadLimits(t *testing.T) {
+	_, val := fixture(t)
+	png := pngBytes(t, val[0])
+	names := []string{"a.png", "b.png", "c.png", "d.png"}
+	bodies := [][]byte{png, png, png, png}
+
+	post := func(ts *httptest.Server) *http.Response {
+		t.Helper()
+		body, ctype := multipartJob(t, names, bodies)
+		resp, err := http.Post(ts.URL+"/v1/jobs", ctype, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Four parts against a three-item job service.
+	_, ts := newJobsServerCfg(t, jobs.Config{Workers: 1, MaxItems: 3}, nil)
+	resp := post(ts)
+	msg := string(readBody(t, resp))
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(msg, "3-item limit") {
+		t.Errorf("over-count upload: status %d, body %q", resp.StatusCode, msg)
+	}
+
+	// A body budget smaller than the four parts: the stream is cut off
+	// mid-read with 413 rather than buffered whole.
+	_, ts2 := newJobsServerCfg(t, jobs.Config{Workers: 1}, func(c *Config) {
+		c.MaxJobBodyBytes = int64(len(png)) + 512
+	})
+	resp = post(ts2)
+	msg = string(readBody(t, resp))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload: status %d, body %q, want 413", resp.StatusCode, msg)
 	}
 }
 

@@ -90,6 +90,10 @@ type Config struct {
 	// MaxBatchParts caps the number of pictures in one batch request
 	// (<= 0 means 64).
 	MaxBatchParts int
+	// MaxJobBodyBytes caps a whole /v1/jobs multipart upload. Job uploads
+	// are held in memory until the submission is journaled, so this is
+	// the server's memory exposure per job request (<= 0 means 256 MiB).
+	MaxJobBodyBytes int64
 	// Store, when non-nil, is a persistent content-addressed result store
 	// shared with the batch engine (same artifact format, same config ×
 	// input keying): it backs the in-memory LRU as a second cache level,
@@ -133,6 +137,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxBatchParts <= 0 {
 		c.MaxBatchParts = 64
+	}
+	if c.MaxJobBodyBytes <= 0 {
+		c.MaxJobBodyBytes = 256 << 20
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
