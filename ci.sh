@@ -40,6 +40,13 @@
 #                     JSON, all five stage spans), run tdmagic -trace on
 #                     the same picture and validate that trace too, then
 #                     SIGTERM and assert a clean drain and exit 0
+#   8b. verify smoke: picture -> spec -> runtime verification — synthesize
+#                     a golden VCD dump from the translated spec, verify it
+#                     cleanly via tdmagic -verify and POST /v1/verify
+#                     (NDJSON verdict stream, then again by content-hash
+#                     ref with measured-delay bounds), corrupt the dump and
+#                     assert violation verdicts on both surfaces plus the
+#                     tdverify_* series on /metrics
 #   9. PGO loop:      capture a fresh CPU profile from the smoke server's
 #                     /debug/pprof/profile while translating in a loop and
 #                     rebuild tdserve against it — proving the checked-in
@@ -178,6 +185,63 @@ curl -fsS "http://$addr/metrics" | grep -q 'tdmagic_stage_seconds_count{stage="s
 go build -o "$tmp/tdmagic" ./cmd/tdmagic
 "$tmp/tdmagic" -model "$tmp/model.gob" -trace "$tmp/trace.json" "$tmp/pic.png" >/dev/null 2>&1
 python3 "$tmp/check_trace.py" "$tmp/trace.json"
+
+# --- verify smoke: picture -> spec -> runtime verification -----------------
+# The translated spec synthesizes its own golden dump, which must verify
+# cleanly over both the CLI and the live service; stretching every VCD
+# timestamp 5x corrupts the dump and must flip the delay-bounded
+# constraints to violation verdicts on both surfaces.
+"$tmp/tdmagic" -model "$tmp/model.gob" -synth-vcd "$tmp/golden.vcd" "$tmp/pic.png" >/dev/null 2>&1
+test -s "$tmp/golden.vcd"
+"$tmp/tdmagic" -model "$tmp/model.gob" -verify -vcd "$tmp/golden.vcd" "$tmp/pic.png" 2>/dev/null |
+	grep -q '^OK:'
+
+curl -fsS -D "$tmp/vh.txt" -F image=@"$tmp/pic.png" -F vcd=@"$tmp/golden.vcd" \
+	"http://$addr/v1/verify" >"$tmp/verify.ndjson"
+grep -qi 'content-type: application/x-ndjson' "$tmp/vh.txt"
+grep -q '"type":"spec"' "$tmp/verify.ndjson"
+grep -q '"ltl":' "$tmp/verify.ndjson"
+grep -q '"type":"verdict"' "$tmp/verify.ndjson"
+grep -q '"ok":true' "$tmp/verify.ndjson"
+
+# Derive tight delay bounds from the clean run's measured values, then
+# re-verify by ref: the content hash alone stands in for the picture.
+python3 - "$tmp/verify.ndjson" >"$tmp/bounds.json" <<'EOF'
+import json, sys
+delays = {}
+for line in open(sys.argv[1]):
+    doc = json.loads(line)
+    if doc.get("type") == "verdict" and doc.get("delay"):
+        m = doc["measured"]
+        delays[doc["delay"]] = {"min": 0.9 * m, "max": 1.1 * m}
+assert delays, "clean verification produced no delay-labelled verdicts"
+json.dump({"delays": delays}, sys.stdout)
+EOF
+ref=$(tr -d '\r' <"$tmp/vh.txt" | awk -F': ' 'tolower($1)=="x-input-hash"{print $2}')
+test -n "$ref"
+curl -fsS -F ref="$ref" -F delays=@"$tmp/bounds.json" -F vcd=@"$tmp/golden.vcd" \
+	"http://$addr/v1/verify" | grep -q '"ok":true'
+
+# Corrupt the dump (stretch every timestamp 5x) and expect violations.
+awk '{ if (substr($0,1,1)=="#") print "#" substr($0,2)*5; else print }' \
+	"$tmp/golden.vcd" >"$tmp/bad.vcd"
+curl -fsS -F ref="$ref" -F delays=@"$tmp/bounds.json" -F vcd=@"$tmp/bad.vcd" \
+	"http://$addr/v1/verify" >"$tmp/verify_bad.ndjson"
+grep -q '"pass":false' "$tmp/verify_bad.ndjson"
+grep -q '"ok":false' "$tmp/verify_bad.ndjson"
+if "$tmp/tdmagic" -model "$tmp/model.gob" -verify -vcd "$tmp/bad.vcd" \
+	-delays "$tmp/bounds.json" "$tmp/pic.png" >"$tmp/verify_cli.out" 2>&1; then
+	echo "verify of corrupted dump unexpectedly passed" >&2
+	exit 1
+fi
+grep -q '^FAIL:' "$tmp/verify_cli.out"
+
+# The verification metrics landed on the shared exposition.
+curl -fsS "http://$addr/metrics" >"$tmp/vmetrics.txt"
+grep -q 'tdverify_verdicts_total{outcome="pass"} [1-9]' "$tmp/vmetrics.txt"
+grep -q 'tdverify_verdicts_total{outcome="violation"} [1-9]' "$tmp/vmetrics.txt"
+grep -q 'tdverify_trace_bytes_total [1-9]' "$tmp/vmetrics.txt"
+grep -q 'tdverify_check_seconds_count [1-9]' "$tmp/vmetrics.txt"
 
 # --- PGO loop: fresh profile from the live server, rebuild against it ------
 curl -fsS "http://$addr/debug/pprof/profile?seconds=4" -o "$tmp/cpu.pprof" &

@@ -14,6 +14,8 @@
 //	tdmagic -model model.gob -chrome-trace t.json diagram.png  # chrome://tracing
 //	tdmagic -model model.gob -batch corpus/ -out specs/        # whole directory
 //	tdmagic -model model.gob -batch corpus/ -out specs/ -cache .tdcache  # resumable
+//	tdmagic -model model.gob -verify -vcd dump.vcd -delays bounds.json diagram.png
+//	tdmagic -model model.gob -synth-vcd golden.vcd diagram.png # satisfying dump
 //	tdmagic -version                                  # build identity
 //
 // By default degraded inputs (low contrast, noise, cyclic interpretations)
@@ -21,11 +23,22 @@
 // pipeline worked around are listed on stderr and the exit status stays 0.
 // -strict restores fail-fast behaviour: any degradation exits 1.
 //
+// -verify closes the loop from picture to runtime verification: the
+// translated SPO becomes the specification, -delays supplies the
+// admissible bounds per timing parameter (JSON, either a bare
+// {"t_x": {"min":..,"max":..}} map or {"delays": {...}}), and the -vcd
+// dump is streamed through the incremental monitor — one verdict line
+// per constraint, exit status 1 on any violation. -synth-vcd writes a
+// value-change dump synthesized to satisfy the specification, handy as a
+// golden input for the verifier.
+//
 // Train a model first with tdtrain.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"image/png"
@@ -35,8 +48,11 @@ import (
 	"tdmagic/internal/core"
 	"tdmagic/internal/imgproc"
 	"tdmagic/internal/ltl"
+	"tdmagic/internal/monitor"
 	"tdmagic/internal/obs"
+	"tdmagic/internal/spo"
 	"tdmagic/internal/sva"
+	"tdmagic/internal/vcd"
 	"tdmagic/internal/version"
 )
 
@@ -58,6 +74,11 @@ func main() {
 		outDir      = flag.String("out", "", "with -batch: write one <name>.spec per picture into this directory (default: print to stdout)")
 		cacheDir    = flag.String("cache", "", "with -batch: persistent content-addressed result store; re-runs translate only what is missing")
 		batchW      = flag.Int("batch-workers", 0, "with -batch: concurrent translations (0 = GOMAXPROCS)")
+		doVerify    = flag.Bool("verify", false, "verify the -vcd dump against the translated specification; exit 1 on violation")
+		vcdPath     = flag.String("vcd", "", "with -verify: Verilog value-change dump of the signals under test")
+		delaysPath  = flag.String("delays", "", "JSON file with admissible delay bounds per timing parameter")
+		synthVCD    = flag.String("synth-vcd", "", "write a VCD dump synthesized to satisfy the translated specification to this file")
+		timescale   = flag.String("timescale", "1ms", "VCD timescale for -synth-vcd and for interpreting verdict times")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -116,6 +137,10 @@ func main() {
 	// best-effort partial specification; the degradations the pipeline
 	// worked around are reported on stderr so the output stays parseable.
 	printDiags(rep)
+	if *doVerify || *synthVCD != "" {
+		runVerify(ctx, spec, *vcdPath, *delaysPath, *synthVCD, *timescale, *doVerify)
+		return
+	}
 	switch {
 	case *dot:
 		fmt.Print(spec.DOT(flag.Arg(0)))
@@ -148,6 +173,95 @@ func main() {
 	if *report {
 		printReport(rep)
 	}
+}
+
+// runVerify closes the picture → spec → runtime verification loop for the
+// CLI: the translated SPO plus the -delays bounds become a monitorable
+// specification. -synth-vcd writes a satisfying dump; -verify streams the
+// -vcd dump through the incremental monitor and exits 1 on any violation.
+func runVerify(ctx context.Context, p *spo.SPO, vcdPath, delaysPath, synthOut, timescale string, doVerify bool) {
+	mspec := &monitor.Spec{SPO: p}
+	if delaysPath != "" {
+		var err error
+		if mspec.Delays, err = loadDelays(delaysPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if synthOut != "" {
+		tr, err := monitor.SynthesizeTrace(mspec, 0)
+		if err != nil {
+			log.Fatalf("synthesize trace: %v", err)
+		}
+		f, err := os.Create(synthOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vcd.Write(f, tr, timescale); err != nil {
+			log.Fatalf("write vcd: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tdmagic: wrote satisfying dump %s\n", synthOut)
+	}
+	if !doVerify {
+		return
+	}
+	if vcdPath == "" {
+		log.Fatal("-verify requires -vcd <dump>")
+	}
+	f, err := os.Open(vcdPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	out, err := core.Verify(ctx, mspec, bufio.NewReader(f), printVerdict, nil)
+	if err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	if out.Result.OK() {
+		fmt.Printf("OK: %d constraint(s) satisfied over %d VCD bytes\n",
+			len(p.Constraints), out.TraceBytes)
+		return
+	}
+	fmt.Printf("FAIL: %d violation(s) over %d VCD bytes\n",
+		len(out.Result.Violations), out.TraceBytes)
+	os.Exit(1)
+}
+
+// printVerdict renders one streamed constraint verdict.
+func printVerdict(v monitor.Verdict) {
+	label := v.Delay
+	if label == "" {
+		label = "(order)"
+	}
+	if v.Pass {
+		fmt.Printf("pass      #%d %-12s measured %.6g (src %.6g -> dst %.6g)\n",
+			v.Index, label, v.Measured, v.SrcTime, v.DstTime)
+		return
+	}
+	fmt.Printf("VIOLATION #%d %-12s %s\n", v.Index, label, v.Reason)
+}
+
+// loadDelays reads the admissible-bounds JSON: either a bare
+// {"t_x": {"min":..,"max":..}} map or a {"delays": {...}} wrapper (the
+// /v1/verify wire format).
+func loadDelays(path string) (map[string]monitor.Bounds, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wrapped struct {
+		Delays map[string]monitor.Bounds `json:"delays"`
+	}
+	if err := json.Unmarshal(raw, &wrapped); err == nil && wrapped.Delays != nil {
+		return wrapped.Delays, nil
+	}
+	var bare map[string]monitor.Bounds
+	if err := json.Unmarshal(raw, &bare); err != nil {
+		return nil, fmt.Errorf("parse delays %s: %w", path, err)
+	}
+	return bare, nil
 }
 
 // writeTraces persists the recorded span trace in the requested formats.

@@ -10,6 +10,8 @@
 //
 //	POST /v1/translate        one PNG body -> SPO JSON + diagnostics
 //	POST /v1/translate/batch  multipart/form-data PNG parts -> JSON array
+//	POST /v1/verify           TD picture (or cached ref) + delays + VCD dump
+//	                          -> NDJSON stream of per-constraint verdicts
 //	POST   /v1/jobs              durable async job (with -jobs; multipart or manifest)
 //	GET    /v1/jobs/{id}         job status; /results streams ordered NDJSON
 //	DELETE /v1/jobs/{id}         cancel a job
@@ -75,7 +77,9 @@ func main() {
 		jobsLease   = flag.Duration("jobs-lease", 30*time.Second, "item lease duration before a silent worker is presumed dead")
 		jobsPause   = flag.Duration("jobs-throttle", 0, "pause before each job item attempt (rate limit)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request translation deadline")
+		verifyTmo   = flag.Duration("verify-timeout", 60*time.Second, "per-request /v1/verify deadline (translation + streaming check)")
 		maxBody     = flag.Int64("max-body", 32<<20, "largest accepted PNG body in bytes")
+		maxVCD      = flag.Int64("max-vcd", 1<<30, "largest accepted VCD dump in bytes (streamed, so this bounds work, not memory)")
 		maxJobBody  = flag.Int64("max-job-body", 256<<20, "largest accepted /v1/jobs multipart upload in bytes (the server's per-request memory exposure)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
@@ -102,7 +106,9 @@ func main() {
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
 		Timeout:         *timeout,
+		VerifyTimeout:   *verifyTmo,
 		MaxBodyBytes:    *maxBody,
+		MaxVCDBytes:     *maxVCD,
 		MaxJobBodyBytes: *maxJobBody,
 	}
 	if *storeDir != "" {

@@ -195,6 +195,27 @@ func (r *Registry) LabeledHistogram(name, labels, help string, bounds []float64)
 	return h
 }
 
+// LabeledCounter registers (or returns the existing) counter under name
+// with a constant label set, e.g.
+//
+//	r.LabeledCounter("tdverify_verdicts_total", `outcome="pass"`, "…")
+//
+// Several label sets may share one name — the counter-vector analogue of
+// LabeledHistogram: one HELP/TYPE header per name, labels rendered inside
+// every sample's braces.
+func (r *Registry) LabeledCounter(name, labels, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + "{" + labels + "}"
+	if i, ok := r.byName[key]; ok {
+		return r.metrics[i].counter
+	}
+	c := &Counter{}
+	r.byName[key] = len(r.metrics)
+	r.metrics = append(r.metrics, metric{name: name, labels: labels, help: help, counter: c})
+	return c
+}
+
 // GaugeFunc registers a gauge whose float value is computed at scrape
 // time — the natural shape for derived series like a cache hit ratio,
 // which would drift if maintained as a stored value next to the

@@ -13,6 +13,7 @@ package monitor
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"tdmagic/internal/spo"
@@ -20,8 +21,10 @@ import (
 )
 
 // Bounds is an admissible delay interval. Max <= 0 means unbounded above.
+// The JSON form is the wire format of verification requests.
 type Bounds struct {
-	Min, Max float64
+	Min float64 `json:"min"`
+	Max float64 `json:"max,omitempty"`
 }
 
 // Contains reports whether dt satisfies the bounds.
@@ -66,88 +69,23 @@ type Result struct {
 func (r *Result) OK() bool { return len(r.Violations) == 0 }
 
 // Check locates every SPO event in the trace and verifies all constraints.
+// It is implemented on top of StreamChecker — the whole trace is replayed
+// through the incremental monitor — so batch and streaming verification
+// cannot disagree.
 func Check(spec *Spec, tr *trace.Trace) (*Result, error) {
-	if spec.SPO == nil {
-		return nil, fmt.Errorf("monitor: nil SPO")
-	}
-	if err := spec.SPO.Validate(); err != nil {
-		return nil, fmt.Errorf("monitor: invalid specification: %w", err)
-	}
-	swing := spec.MinSwingFrac
-	if swing <= 0 {
-		swing = 0.5
-	}
-	res := &Result{EventTimes: make([]float64, len(spec.SPO.Nodes))}
-	for i := range res.EventTimes {
-		res.EventTimes[i] = -1
-	}
-	for i, n := range spec.SPO.Nodes {
-		t, err := eventTime(spec, tr, n, swing)
-		if err != nil {
-			res.Violations = append(res.Violations, Violation{
-				Constraint: spo.Constraint{Src: i, Dst: i},
-				Reason:     fmt.Sprintf("event %s not found: %v", n, err),
-			})
-			continue
-		}
-		res.EventTimes[i] = t
-	}
-	for _, c := range spec.SPO.Constraints {
-		t0, t1 := res.EventTimes[c.Src], res.EventTimes[c.Dst]
-		if t0 < 0 || t1 < 0 {
-			res.Violations = append(res.Violations, Violation{
-				Constraint: c,
-				Reason:     "unresolved endpoint event",
-			})
-			continue
-		}
-		dt := t1 - t0
-		if dt <= 0 {
-			res.Violations = append(res.Violations, Violation{
-				Constraint: c, Measured: dt,
-				Reason: fmt.Sprintf("order violated: measured %.4g <= 0", dt),
-			})
-			continue
-		}
-		if b, ok := spec.Delays[c.Delay]; ok && !b.Contains(dt) {
-			res.Violations = append(res.Violations, Violation{
-				Constraint: c, Measured: dt,
-				Reason: fmt.Sprintf("delay %.4g outside [%.4g, %.4g]", dt, b.Min, b.Max),
-			})
-		}
-	}
-	return res, nil
-}
-
-// eventTime locates one SPO event in the trace: the EdgeIndex-th edge of the
-// node's signal, at the node's threshold level.
-func eventTime(spec *Spec, tr *trace.Trace, n spo.Node, swing float64) (float64, error) {
-	sig := tr.Signal(n.Signal)
-	if sig == nil {
-		return 0, fmt.Errorf("%w: %q", trace.ErrNoSignal, n.Signal)
-	}
-	edges := sig.Edges(swing)
-	if n.EdgeIndex < 1 || n.EdgeIndex > len(edges) {
-		return 0, fmt.Errorf("signal %q has %d edges, event wants edge %d", n.Signal, len(edges), n.EdgeIndex)
-	}
-	e := edges[n.EdgeIndex-1]
-	if n.Type.IsRise() && !e.Rising && n.Type != spo.Double {
-		return 0, fmt.Errorf("edge %d of %q falls, event expects a rise", n.EdgeIndex, n.Signal)
-	}
-	if !n.Type.IsRise() && e.Rising && n.Type != spo.Double {
-		return 0, fmt.Errorf("edge %d of %q rises, event expects a fall", n.EdgeIndex, n.Signal)
-	}
-	frac, err := thresholdFrac(spec, n)
+	c, err := NewStream(spec, nil)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	lo, hi := sig.Range()
-	level := lo + frac*(hi-lo)
-	t, ok := e.CrossTime(level)
-	if !ok {
-		return 0, fmt.Errorf("edge %d of %q does not cross level %.3g", n.EdgeIndex, n.Signal, level)
+	for _, sig := range tr.Signals {
+		h := c.Declare(sig.Name, false)
+		for _, p := range sig.Points {
+			if err := c.Change(h, p.T, p.V); err != nil {
+				return nil, err
+			}
+		}
 	}
-	return t, nil
+	return c.Finish()
 }
 
 // thresholdFrac resolves a node's crossing level as a fraction of the
@@ -282,9 +220,22 @@ func SynthesizeTrace(spec *Spec, rampFrac float64) (*trace.Trace, error) {
 		if err := sig.Append(0, level); err != nil {
 			return nil, err
 		}
-		for _, e := range evs {
+		for k, e := range evs {
 			target := 1 - level
+			// Clamp the ramp half-width to half the gap towards each
+			// neighbouring event (and to the first event's distance from
+			// t=0) so adjacent ramps never overlap, whatever rampFrac is.
 			half := 0.05 + ramp/2
+			if k > 0 {
+				half = math.Min(half, (e.t-evs[k-1].t)/2)
+			} else {
+				half = math.Min(half, e.t)
+			}
+			if k+1 < len(evs) {
+				half = math.Min(half, (evs[k+1].t-e.t)/2)
+			} else {
+				half = math.Min(half, 1) // tail point lands at e.t+2
+			}
 			if err := sig.Append(e.t-half, level); err != nil {
 				return nil, fmt.Errorf("monitor: synthesise %q: %w", name, err)
 			}

@@ -1,0 +1,395 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"tdmagic/internal/spo"
+	"tdmagic/internal/trace"
+)
+
+// Verdict is the outcome of one SPO constraint, emitted by a StreamChecker
+// as soon as it is final. SrcTime/DstTime are the located event times (-1
+// when unresolved) — on a violation they are the counterexample
+// timestamps. Measured is DstTime-SrcTime when both events resolved.
+type Verdict struct {
+	Index    int     `json:"index"`
+	Delay    string  `json:"delay,omitempty"`
+	Pass     bool    `json:"pass"`
+	Measured float64 `json:"measured"`
+	SrcTime  float64 `json:"src_time"`
+	DstTime  float64 `json:"dst_time"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// buildVerdict evaluates one constraint from its endpoint event times,
+// reproducing Check's reason strings exactly.
+func buildVerdict(spec *Spec, idx int, c spo.Constraint, t0, t1 float64) Verdict {
+	v := Verdict{Index: idx, Delay: c.Delay, SrcTime: t0, DstTime: t1}
+	if t0 < 0 || t1 < 0 {
+		v.Reason = "unresolved endpoint event"
+		return v
+	}
+	dt := t1 - t0
+	v.Measured = dt
+	if dt <= 0 {
+		v.Reason = fmt.Sprintf("order violated: measured %.4g <= 0", dt)
+		return v
+	}
+	if b, ok := spec.Delays[c.Delay]; ok && !b.Contains(dt) {
+		v.Reason = fmt.Sprintf("delay %.4g outside [%.4g, %.4g]", dt, b.Min, b.Max)
+		return v
+	}
+	v.Pass = true
+	return v
+}
+
+// ResultVerdicts derives the per-constraint verdicts implied by a
+// whole-trace Result, in constraint order. A StreamChecker over the same
+// data emits exactly these verdicts (possibly in resolution order).
+func ResultVerdicts(spec *Spec, res *Result) []Verdict {
+	out := make([]Verdict, len(spec.SPO.Constraints))
+	for i, c := range spec.SPO.Constraints {
+		out[i] = buildVerdict(spec, i, c, res.EventTimes[c.Src], res.EventTimes[c.Dst])
+	}
+	return out
+}
+
+// nodeState tracks one SPO event. firm means the outcome can no longer
+// change; resolved means an event time was located.
+type nodeState struct {
+	firm     bool
+	resolved bool
+	t        float64
+	err      error
+}
+
+func (n *nodeState) time() float64 {
+	if n.resolved {
+		return n.t
+	}
+	return -1
+}
+
+// sigState is the per-signal incremental state: the running value range,
+// the previous sample, the open monotone run, and — for analog signals —
+// the retained candidate edges. Binary (1-bit digital) signals retire every
+// run as it closes: their value range is final the moment both rails have
+// been seen, so edge indices and threshold levels are firm immediately and
+// nothing needs to be buffered.
+type sigState struct {
+	name   string
+	binary bool
+	nodes  []int // SPO node indices referencing this signal
+
+	lo, hi       float64
+	any          bool
+	prevT, prevV float64
+
+	open     bool
+	rT0, rV0 float64
+	rT1, rV1 float64
+	rising   bool
+
+	runs   []trace.Edge // retained closed candidate runs (analog path)
+	closed int          // closed qualifying runs (binary path)
+}
+
+func (s *sigState) rangeVals() (float64, float64) {
+	if !s.any {
+		return 0, 0
+	}
+	return s.lo, s.hi
+}
+
+// StreamChecker checks a specification against a trace delivered as a
+// stream of value changes (e.g. straight from a vcd.Decoder), without
+// materializing the trace. It emits each constraint's Verdict as soon as
+// both endpoint events are firm, and Finish returns a Result identical to
+// whole-trace Check — Check itself is implemented on top of StreamChecker,
+// so the two can never drift.
+//
+// Memory is bounded by the retained state, not the dump length: binary
+// signals keep O(1) state (resolved prefixes retire immediately), analog
+// signals keep one trace.Edge per candidate monotone run, with runs below
+// the current swing threshold pruned as they close (the swing only grows
+// as the observed range widens, so they can never qualify later).
+type StreamChecker struct {
+	spec  *Spec
+	swing float64
+	emit  func(Verdict)
+
+	sigs   []*sigState
+	byName map[string]int
+
+	nodes   []nodeState
+	emitted []bool
+
+	resident    int
+	maxResident int
+
+	finished bool
+	result   *Result
+}
+
+// NewStream validates the specification and prepares a streaming check.
+// emit, if non-nil, receives each constraint verdict once, as soon as it
+// is final (some arrive mid-stream, the rest during Finish).
+func NewStream(spec *Spec, emit func(Verdict)) (*StreamChecker, error) {
+	if spec.SPO == nil {
+		return nil, fmt.Errorf("monitor: nil SPO")
+	}
+	if err := spec.SPO.Validate(); err != nil {
+		return nil, fmt.Errorf("monitor: invalid specification: %w", err)
+	}
+	swing := spec.MinSwingFrac
+	if swing <= 0 {
+		swing = 0.5
+	}
+	return &StreamChecker{
+		spec:    spec,
+		swing:   swing,
+		emit:    emit,
+		byName:  map[string]int{},
+		nodes:   make([]nodeState, len(spec.SPO.Nodes)),
+		emitted: make([]bool, len(spec.SPO.Constraints)),
+	}, nil
+}
+
+// Declare registers a signal and returns its handle. binary marks 1-bit
+// digital signals whose values can only be 0 or 1 — these take the eager,
+// constant-memory path. Re-declaring a name returns the existing handle;
+// a non-binary re-declaration before any data demotes the signal to the
+// analog path.
+func (c *StreamChecker) Declare(name string, binary bool) int {
+	if h, ok := c.byName[name]; ok {
+		s := c.sigs[h]
+		if !binary && s.binary && !s.any {
+			s.binary = false
+		}
+		return h
+	}
+	s := &sigState{name: name, binary: binary}
+	for i, n := range c.spec.SPO.Nodes {
+		if n.Signal == name {
+			s.nodes = append(s.nodes, i)
+		}
+	}
+	c.sigs = append(c.sigs, s)
+	c.byName[name] = len(c.sigs) - 1
+	c.resident++
+	if c.resident > c.maxResident {
+		c.maxResident = c.resident
+	}
+	return len(c.sigs) - 1
+}
+
+// Change feeds one sample. Times must be non-decreasing per handle;
+// samples for different handles may interleave in any order.
+func (c *StreamChecker) Change(h int, t, v float64) error {
+	s := c.sigs[h]
+	if s.binary && v != 0 && v != 1 {
+		return fmt.Errorf("monitor: binary signal %q got value %v", s.name, v)
+	}
+	if !s.any {
+		s.any = true
+		s.lo, s.hi = v, v
+		s.prevT, s.prevV = t, v
+		return nil
+	}
+	if v < s.lo {
+		s.lo = v
+	}
+	if v > s.hi {
+		s.hi = v
+	}
+	switch {
+	case v == s.prevV: // flat segment closes any open run
+		if s.open {
+			c.closeRun(s)
+		}
+	case !s.open:
+		s.open = true
+		s.rT0, s.rV0 = s.prevT, s.prevV
+		s.rT1, s.rV1 = t, v
+		s.rising = v > s.prevV
+	case (v > s.prevV) == s.rising: // extend the monotone run
+		s.rT1, s.rV1 = t, v
+	default: // reversal: close and reopen from the previous sample
+		c.closeRun(s)
+		s.open = true
+		s.rT0, s.rV0 = s.prevT, s.prevV
+		s.rT1, s.rV1 = t, v
+		s.rising = v > s.prevV
+	}
+	s.prevT, s.prevV = t, v
+	return nil
+}
+
+// closeRun finalizes the open monotone run. Binary signals resolve any
+// node waiting on this edge immediately and retire the run; analog signals
+// retain it unless it is already below the swing threshold.
+func (c *StreamChecker) closeRun(s *sigState) {
+	e := trace.Edge{T0: s.rT0, T1: s.rT1, V0: s.rV0, V1: s.rV1, Rising: s.rising}
+	s.open = false
+	if s.binary && c.swing <= 1 {
+		// A binary run always swings the full 0..1 range, so it qualifies
+		// as an edge, and the range is final once both rails were seen —
+		// which any closed run guarantees.
+		s.closed++
+		for _, i := range s.nodes {
+			if c.spec.SPO.Nodes[i].EdgeIndex == s.closed && !c.nodes[i].firm {
+				t, err := nodeEventFromEdge(c.spec, c.spec.SPO.Nodes[i], e, s.lo, s.hi)
+				c.setNode(i, t, err)
+			}
+		}
+		return
+	}
+	if math.Abs(e.V1-e.V0) >= (s.hi-s.lo)*c.swing {
+		s.runs = append(s.runs, e)
+		c.resident++
+		if c.resident > c.maxResident {
+			c.maxResident = c.resident
+		}
+	}
+}
+
+func (c *StreamChecker) setNode(i int, t float64, err error) {
+	st := &c.nodes[i]
+	st.firm = true
+	if err != nil {
+		st.err = err
+	} else {
+		st.resolved, st.t = true, t
+	}
+	c.emitReady(i)
+}
+
+// emitReady streams the verdicts of every constraint incident to node i
+// whose other endpoint is also firm.
+func (c *StreamChecker) emitReady(i int) {
+	for k, con := range c.spec.SPO.Constraints {
+		if c.emitted[k] || (con.Src != i && con.Dst != i) {
+			continue
+		}
+		a, b := &c.nodes[con.Src], &c.nodes[con.Dst]
+		if !a.firm || !b.firm {
+			continue
+		}
+		c.emitted[k] = true
+		if c.emit != nil {
+			c.emit(buildVerdict(c.spec, k, con, a.time(), b.time()))
+		}
+	}
+}
+
+// MaxResident returns the peak retained state: declared signals plus
+// buffered candidate edges. For digital dumps this stays constant however
+// long the dump runs — the bound the verify service relies on.
+func (c *StreamChecker) MaxResident() int { return c.maxResident }
+
+// Finish flushes trailing runs, resolves every remaining event, emits all
+// outstanding verdicts (in constraint order) and returns the final Result,
+// identical to Check over the materialized trace.
+func (c *StreamChecker) Finish() (*Result, error) {
+	if c.finished {
+		return c.result, nil
+	}
+	c.finished = true
+	for _, s := range c.sigs {
+		if s.open {
+			c.closeRun(s)
+		}
+	}
+	res := &Result{EventTimes: make([]float64, len(c.spec.SPO.Nodes))}
+	for i := range res.EventTimes {
+		res.EventTimes[i] = -1
+	}
+	for i, n := range c.spec.SPO.Nodes {
+		st := &c.nodes[i]
+		if !st.firm {
+			t, err := c.finishNode(n)
+			st.firm = true
+			if err != nil {
+				st.err = err
+			} else {
+				st.resolved, st.t = true, t
+			}
+		}
+		if st.err != nil {
+			res.Violations = append(res.Violations, Violation{
+				Constraint: spo.Constraint{Src: i, Dst: i},
+				Reason:     fmt.Sprintf("event %s not found: %v", n, st.err),
+			})
+			continue
+		}
+		res.EventTimes[i] = st.t
+	}
+	for k, con := range c.spec.SPO.Constraints {
+		v := buildVerdict(c.spec, k, con, res.EventTimes[con.Src], res.EventTimes[con.Dst])
+		if !c.emitted[k] {
+			c.emitted[k] = true
+			if c.emit != nil {
+				c.emit(v)
+			}
+		}
+		if !v.Pass {
+			res.Violations = append(res.Violations, Violation{
+				Constraint: con, Measured: v.Measured, Reason: v.Reason,
+			})
+		}
+	}
+	c.result = res
+	return res, nil
+}
+
+// finishNode locates an event not resolved mid-stream, replicating the
+// whole-trace eventTime lookup over the retained runs.
+func (c *StreamChecker) finishNode(n spo.Node) (float64, error) {
+	h, ok := c.byName[n.Signal]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", trace.ErrNoSignal, n.Signal)
+	}
+	s := c.sigs[h]
+	if s.binary && c.swing <= 1 {
+		// Every qualifying edge resolved its nodes as it closed; anything
+		// left wants an edge the dump never produced.
+		return 0, fmt.Errorf("signal %q has %d edges, event wants edge %d", n.Signal, s.closed, n.EdgeIndex)
+	}
+	lo, hi := s.rangeVals()
+	sw := (hi - lo) * c.swing
+	var edges []trace.Edge
+	if sw > 0 {
+		for _, e := range s.runs {
+			if math.Abs(e.V1-e.V0) >= sw {
+				edges = append(edges, e)
+			}
+		}
+	}
+	if n.EdgeIndex < 1 || n.EdgeIndex > len(edges) {
+		return 0, fmt.Errorf("signal %q has %d edges, event wants edge %d", n.Signal, len(edges), n.EdgeIndex)
+	}
+	return nodeEventFromEdge(c.spec, n, edges[n.EdgeIndex-1], lo, hi)
+}
+
+// nodeEventFromEdge resolves a node's event time on its located edge: the
+// direction must match, and the threshold level (a fraction of the signal
+// range) must be crossed.
+func nodeEventFromEdge(spec *Spec, n spo.Node, e trace.Edge, lo, hi float64) (float64, error) {
+	if n.Type.IsRise() && !e.Rising && n.Type != spo.Double {
+		return 0, fmt.Errorf("edge %d of %q falls, event expects a rise", n.EdgeIndex, n.Signal)
+	}
+	if !n.Type.IsRise() && e.Rising && n.Type != spo.Double {
+		return 0, fmt.Errorf("edge %d of %q rises, event expects a fall", n.EdgeIndex, n.Signal)
+	}
+	frac, err := thresholdFrac(spec, n)
+	if err != nil {
+		return 0, err
+	}
+	level := lo + frac*(hi-lo)
+	t, ok := e.CrossTime(level)
+	if !ok {
+		return 0, fmt.Errorf("edge %d of %q does not cross level %.3g", n.EdgeIndex, n.Signal, level)
+	}
+	return t, nil
+}

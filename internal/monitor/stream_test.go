@@ -1,0 +1,416 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tdmagic/internal/spo"
+	"tdmagic/internal/trace"
+)
+
+func TestSynthesizeTraceRampFracs(t *testing.T) {
+	// The doc comment allows any ramp fraction of the unit step; before the
+	// gap clamp, rampFrac >= ~0.9 made consecutive appends overlap the
+	// event spacing and synthesis failed with "time before previous sample".
+	for _, ramp := range []float64{0, 0.5, 1.0} {
+		spec := example1Spec()
+		tr, err := SynthesizeTrace(spec, ramp)
+		if err != nil {
+			t.Fatalf("rampFrac %v: %v", ramp, err)
+		}
+		res, err := Check(spec, tr)
+		if err != nil {
+			t.Fatalf("rampFrac %v: %v", ramp, err)
+		}
+		if !res.OK() {
+			t.Errorf("rampFrac %v: violations %v", ramp, res.Violations)
+		}
+	}
+}
+
+// oracleCheck is the pre-streaming whole-trace checker, kept verbatim as an
+// independent oracle: Check (now a replay through StreamChecker) must agree
+// with it on every trace.
+func oracleCheck(spec *Spec, tr *trace.Trace) *Result {
+	swing := spec.MinSwingFrac
+	if swing <= 0 {
+		swing = 0.5
+	}
+	eventTime := func(n spo.Node) (float64, error) {
+		sig := tr.Signal(n.Signal)
+		if sig == nil {
+			return 0, fmt.Errorf("%w: %q", trace.ErrNoSignal, n.Signal)
+		}
+		edges := sig.Edges(swing)
+		if n.EdgeIndex < 1 || n.EdgeIndex > len(edges) {
+			return 0, fmt.Errorf("signal %q has %d edges, event wants edge %d", n.Signal, len(edges), n.EdgeIndex)
+		}
+		e := edges[n.EdgeIndex-1]
+		if n.Type.IsRise() && !e.Rising && n.Type != spo.Double {
+			return 0, fmt.Errorf("edge %d of %q falls, event expects a rise", n.EdgeIndex, n.Signal)
+		}
+		if !n.Type.IsRise() && e.Rising && n.Type != spo.Double {
+			return 0, fmt.Errorf("edge %d of %q rises, event expects a fall", n.EdgeIndex, n.Signal)
+		}
+		frac, err := thresholdFrac(spec, n)
+		if err != nil {
+			return 0, err
+		}
+		lo, hi := sig.Range()
+		level := lo + frac*(hi-lo)
+		t, ok := e.CrossTime(level)
+		if !ok {
+			return 0, fmt.Errorf("edge %d of %q does not cross level %.3g", n.EdgeIndex, n.Signal, level)
+		}
+		return t, nil
+	}
+	res := &Result{EventTimes: make([]float64, len(spec.SPO.Nodes))}
+	for i := range res.EventTimes {
+		res.EventTimes[i] = -1
+	}
+	for i, n := range spec.SPO.Nodes {
+		tm, err := eventTime(n)
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{
+				Constraint: spo.Constraint{Src: i, Dst: i},
+				Reason:     fmt.Sprintf("event %s not found: %v", n, err),
+			})
+			continue
+		}
+		res.EventTimes[i] = tm
+	}
+	for _, c := range spec.SPO.Constraints {
+		t0, t1 := res.EventTimes[c.Src], res.EventTimes[c.Dst]
+		if t0 < 0 || t1 < 0 {
+			res.Violations = append(res.Violations, Violation{Constraint: c, Reason: "unresolved endpoint event"})
+			continue
+		}
+		dt := t1 - t0
+		if dt <= 0 {
+			res.Violations = append(res.Violations, Violation{
+				Constraint: c, Measured: dt,
+				Reason: fmt.Sprintf("order violated: measured %.4g <= 0", dt),
+			})
+			continue
+		}
+		if b, ok := spec.Delays[c.Delay]; ok && !b.Contains(dt) {
+			res.Violations = append(res.Violations, Violation{
+				Constraint: c, Measured: dt,
+				Reason: fmt.Sprintf("delay %.4g outside [%.4g, %.4g]", dt, b.Min, b.Max),
+			})
+		}
+	}
+	return res
+}
+
+// randomTrace builds a trace with plateaus, reversals, repeated values and
+// equal-time samples — the corner cases of monotone-run extraction.
+func randomTrace(rng *rand.Rand, names []string) *trace.Trace {
+	tr := &trace.Trace{}
+	levels := []float64{0, 0.2, 0.5, 0.8, 1, 1.3}
+	for _, name := range names {
+		sig := tr.Add(name)
+		tm := 0.0
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) > 0 {
+				tm += rng.Float64() * 2
+			} // else: equal-time sample
+			_ = sig.Append(tm, levels[rng.Intn(len(levels))])
+		}
+	}
+	return tr
+}
+
+func randomSpec(rng *rand.Rand, names []string) *Spec {
+	p := &spo.SPO{}
+	types := []spo.EdgeType{spo.RiseStep, spo.FallStep, spo.RiseRamp, spo.FallRamp, spo.Double}
+	ths := []string{"", "90%", "10%", spo.NoThreshold}
+	nn := 2 + rng.Intn(4)
+	for i := 0; i < nn; i++ {
+		p.AddNode(spo.Node{
+			Signal:    names[rng.Intn(len(names))],
+			EdgeIndex: 1 + rng.Intn(4),
+			Type:      types[rng.Intn(len(types))],
+			Threshold: ths[rng.Intn(len(ths))],
+		})
+	}
+	for i := 1; i < nn; i++ {
+		if rng.Intn(2) == 0 {
+			_ = p.AddConstraint(rng.Intn(i), i, fmt.Sprintf("t%d", i))
+		}
+	}
+	return &Spec{
+		SPO: p,
+		Delays: map[string]Bounds{
+			"t1": {Min: 0.1, Max: 2}, "t2": {Min: 0.5}, "t3": {Min: 0, Max: 0.5},
+		},
+	}
+}
+
+func TestCheckMatchesOracleOnRandomTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	names := []string{"A", "B", "C"}
+	for iter := 0; iter < 500; iter++ {
+		spec := randomSpec(rng, names)
+		tr := randomTrace(rng, names[:1+rng.Intn(len(names))])
+		want := oracleCheck(spec, tr)
+		got, err := Check(spec, tr)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !reflect.DeepEqual(violationsComparable(got), violationsComparable(want)) ||
+			!reflect.DeepEqual(got.EventTimes, want.EventTimes) {
+			t.Fatalf("iter %d: stream result diverged\n got %+v\nwant %+v", iter, got, want)
+		}
+	}
+}
+
+// violationsComparable renders violations to strings so wrapped errors
+// compare by message.
+func violationsComparable(r *Result) []string {
+	var out []string
+	for _, v := range r.Violations {
+		out = append(out, fmt.Sprintf("%+v|%v|%s", v.Constraint, v.Measured, v.Reason))
+	}
+	return out
+}
+
+// feedBinary replays a trace of 0/1 step signals through a StreamChecker
+// with the binary fast path enabled.
+func feedBinary(t *testing.T, c *StreamChecker, tr *trace.Trace) {
+	t.Helper()
+	for _, sig := range tr.Signals {
+		h := c.Declare(sig.Name, true)
+		for _, p := range sig.Points {
+			if err := c.Change(h, p.T, p.V); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestStreamBinaryPathMatchesCheck(t *testing.T) {
+	// Synthesized step traces are pure 0/1: the eager binary path must give
+	// byte-identical verdicts to the whole-trace Check.
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		p := &spo.SPO{}
+		names := []string{"X", "Y"}
+		nn := 2 + rng.Intn(3)
+		edge := map[string]int{}
+		for i := 0; i < nn; i++ {
+			name := names[rng.Intn(2)]
+			edge[name]++
+			typ := spo.RiseStep
+			if edge[name]%2 == 0 {
+				typ = spo.FallStep
+			}
+			p.AddNode(spo.Node{Signal: name, EdgeIndex: edge[name], Type: typ})
+		}
+		for i := 1; i < nn; i++ {
+			_ = p.AddConstraint(i-1, i, fmt.Sprintf("t%d", i))
+		}
+		spec := &Spec{SPO: p, Delays: map[string]Bounds{"t1": {Min: 0.1, Max: 5}}}
+		tr, err := SynthesizeTrace(spec, 0)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		want, err := Check(spec, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var streamed []Verdict
+		c, err := NewStream(spec, func(v Verdict) { streamed = append(streamed, v) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedBinary(t, c, tr)
+		got, err := c.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.EventTimes, want.EventTimes) ||
+			!reflect.DeepEqual(violationsComparable(got), violationsComparable(want)) {
+			t.Fatalf("iter %d: binary stream diverged\n got %+v\nwant %+v", iter, got, want)
+		}
+		// Streamed verdicts, ordered by constraint, must be byte-identical
+		// to the verdicts implied by the whole-trace result.
+		byIndex := make([]Verdict, len(streamed))
+		for _, v := range streamed {
+			byIndex[v.Index] = v
+		}
+		a, _ := json.Marshal(byIndex)
+		b, _ := json.Marshal(ResultVerdicts(spec, want))
+		if string(a) != string(b) {
+			t.Fatalf("iter %d: verdicts diverged\n got %s\nwant %s", iter, a, b)
+		}
+	}
+}
+
+func TestStreamEmitsVerdictsEagerly(t *testing.T) {
+	p := &spo.SPO{}
+	a := p.AddNode(spo.Node{Signal: "X", EdgeIndex: 1, Type: spo.RiseStep})
+	b := p.AddNode(spo.Node{Signal: "Y", EdgeIndex: 1, Type: spo.RiseStep})
+	_ = p.AddConstraint(a, b, "t")
+	spec := &Spec{SPO: p, Delays: map[string]Bounds{"t": {Min: 1, Max: 5}}}
+
+	var got []Verdict
+	c, err := NewStream(spec, func(v Verdict) { got = append(got, v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := c.Declare("X", true)
+	y := c.Declare("Y", true)
+	feed := func(h int, t0, v float64) {
+		if err := c.Change(h, t0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(x, 0, 0)
+	feed(x, 1, 0)
+	feed(x, 1, 1) // X rise at t=1 (run still open)
+	feed(y, 0, 0)
+	feed(y, 3, 0)
+	feed(y, 3, 1) // Y rise at t=3 (open)
+	if len(got) != 0 {
+		t.Fatalf("verdict before runs closed: %+v", got)
+	}
+	feed(x, 5, 1) // closes X's rise
+	feed(y, 5, 1) // closes Y's rise: both endpoints firm, verdict must stream NOW
+	if len(got) != 1 {
+		t.Fatalf("verdicts after both edges closed = %+v", got)
+	}
+	v := got[0]
+	if !v.Pass || v.Measured != 2 || v.SrcTime != 1 || v.DstTime != 3 {
+		t.Errorf("eager verdict = %+v", v)
+	}
+	res, err := c.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || len(got) != 1 {
+		t.Errorf("finish re-emitted or failed: %+v %+v", res, got)
+	}
+}
+
+func TestStreamBoundedMemoryOnLongDigitalDumps(t *testing.T) {
+	resident := func(toggles int) int {
+		p := &spo.SPO{}
+		a := p.AddNode(spo.Node{Signal: "X", EdgeIndex: 1, Type: spo.RiseStep})
+		b := p.AddNode(spo.Node{Signal: "X", EdgeIndex: 2, Type: spo.FallStep})
+		_ = p.AddConstraint(a, b, "t")
+		c, err := NewStream(&Spec{SPO: p}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := c.Declare("X", true)
+		v := 0.0
+		for i := 0; i < toggles; i++ {
+			tm := float64(i + 1)
+			if err := c.Change(h, tm, v); err != nil {
+				t.Fatal(err)
+			}
+			v = 1 - v
+			if err := c.Change(h, tm, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return c.MaxResident()
+	}
+	small, large := resident(100), resident(10000)
+	if small != large {
+		t.Errorf("resident set grew with dump length: %d -> %d", small, large)
+	}
+	if large > 8 {
+		t.Errorf("binary resident set = %d, want O(signals)", large)
+	}
+}
+
+func TestStreamRejectsNonBinaryValueOnBinarySignal(t *testing.T) {
+	spec := example1Spec()
+	c, err := NewStream(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Declare("VINA", true)
+	if err := c.Change(h, 0, 0.7); err == nil {
+		t.Error("non-binary value accepted on binary signal")
+	}
+}
+
+func TestStreamAnalogPruningKeepsEdges(t *testing.T) {
+	// An analog signal with noise below the swing threshold must prune the
+	// noise runs yet keep the real edges — and still match Check.
+	tr := &trace.Trace{}
+	sig := tr.Add("V")
+	tm := 0.0
+	app := func(v float64) { tm += 0.5; _ = sig.Append(tm, v) }
+	_ = sig.Append(0, 0)
+	app(1)                    // the real rise establishes the range first
+	for i := 0; i < 50; i++ { // then noise: 1 <-> 0.95, below the swing
+		app(0.95)
+		app(1)
+	}
+	spec := &Spec{SPO: &spo.SPO{}}
+	spec.SPO.AddNode(spo.Node{Signal: "V", EdgeIndex: 1, Type: spo.RiseRamp, Threshold: "90%"})
+	res, err := Check(spec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	want := oracleCheck(spec, tr)
+	if !reflect.DeepEqual(res.EventTimes, want.EventTimes) {
+		t.Errorf("event times = %v, want %v", res.EventTimes, want.EventTimes)
+	}
+	// The noise runs closed below the final swing must not be resident.
+	c, err := NewStream(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Declare("V", false)
+	for _, p := range sig.Points {
+		if err := c.Change(h, p.T, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxResident() > 6 {
+		t.Errorf("noise runs retained: resident = %d", c.MaxResident())
+	}
+}
+
+func TestResultVerdictsShape(t *testing.T) {
+	spec := example1Spec()
+	tr, err := SynthesizeTrace(spec, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(spec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := ResultVerdicts(spec, res)
+	if len(vs) != len(spec.SPO.Constraints) {
+		t.Fatalf("verdicts = %d", len(vs))
+	}
+	for i, v := range vs {
+		if !v.Pass || v.Index != i || v.Measured <= 0 {
+			t.Errorf("verdict %d = %+v", i, v)
+		}
+		if math.Abs(v.Measured-(v.DstTime-v.SrcTime)) > 1e-12 {
+			t.Errorf("measured mismatch: %+v", v)
+		}
+	}
+}

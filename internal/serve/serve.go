@@ -9,6 +9,8 @@
 //
 //	POST /v1/translate        PNG body in, SPO JSON + diagnostics out
 //	POST /v1/translate/batch  multipart/form-data of PNG files, JSON array out
+//	POST /v1/verify           TD picture (or cached ref) + delay bounds + VCD
+//	                          dump in, NDJSON verdict stream out
 //	POST   /v1/jobs              submit a durable async job (multipart or manifest)
 //	GET    /v1/jobs/{id}         job status (?items=1 for per-item detail)
 //	GET    /v1/jobs/{id}/results ordered NDJSON result stream (terminal jobs)
@@ -94,6 +96,15 @@ type Config struct {
 	// are held in memory until the submission is journaled, so this is
 	// the server's memory exposure per job request (<= 0 means 256 MiB).
 	MaxJobBodyBytes int64
+	// VerifyTimeout is the per-request deadline of /v1/verify, covering
+	// translation (or store lookup), property compilation and the full
+	// streaming check (<= 0 means 60s). The decoder observes it between
+	// events, so a deadline cuts an arbitrarily long dump off mid-stream.
+	VerifyTimeout time.Duration
+	// MaxVCDBytes caps the VCD part of a /v1/verify request. The dump is
+	// streamed, never buffered, so this bounds work, not memory
+	// (<= 0 means 1 GiB).
+	MaxVCDBytes int64
 	// Store, when non-nil, is a persistent content-addressed result store
 	// shared with the batch engine (same artifact format, same config ×
 	// input keying): it backs the in-memory LRU as a second cache level,
@@ -141,6 +152,12 @@ func (c *Config) applyDefaults() {
 	if c.MaxJobBodyBytes <= 0 {
 		c.MaxJobBodyBytes = 256 << 20
 	}
+	if c.VerifyTimeout <= 0 {
+		c.VerifyTimeout = 60 * time.Second
+	}
+	if c.MaxVCDBytes <= 0 {
+		c.MaxVCDBytes = 1 << 30
+	}
 	if c.Registry == nil {
 		c.Registry = metrics.NewRegistry()
 	}
@@ -163,7 +180,10 @@ type Server struct {
 	startMu  sync.Mutex
 	draining atomic.Bool
 
+	verifyMetrics *core.VerifyMetrics
+
 	requests    *metrics.Counter
+	verifyReqs  *metrics.Counter
 	batchReqs   *metrics.Counter
 	batchImages *metrics.Counter
 	cacheHits   *metrics.Counter
@@ -196,6 +216,7 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.Workers),
 
 		requests:    cfg.Registry.Counter("tdserve_requests_total", "translate requests (single and batch items)"),
+		verifyReqs:  cfg.Registry.Counter("tdserve_verify_requests_total", "verification requests"),
 		batchReqs:   cfg.Registry.Counter("tdserve_batch_requests_total", "batch translate requests"),
 		batchImages: cfg.Registry.Counter("tdserve_batch_images_total", "pictures received in batch requests"),
 		cacheHits:   cfg.Registry.Counter("tdserve_cache_hits_total", "translations answered from the result cache"),
@@ -222,9 +243,11 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 			}
 			return float64(hits) / float64(hits+misses)
 		})
+	s.verifyMetrics = core.NewVerifyMetrics(cfg.Registry)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/translate", s.handleTranslate)
 	s.mux.HandleFunc("/v1/translate/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/verify", s.handleVerify)
 	if cfg.Jobs != nil {
 		s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 		s.mux.HandleFunc("/v1/jobs/", s.handleJob)
@@ -428,9 +451,10 @@ type ItemResult struct {
 
 // processResult is the outcome of one translation job.
 type processResult struct {
-	status int
-	body   []byte // marshalled TranslateResponse or ErrorResponse
-	cached bool
+	status    int
+	body      []byte // marshalled TranslateResponse or ErrorResponse
+	cached    bool
+	inputHash string // hex content hash of the picture, "" on failure
 }
 
 // process translates one decoded picture through the cache, the bounded
@@ -448,7 +472,7 @@ func (s *Server) process(ctx context.Context, img *imgproc.Gray, skipCache bool)
 				sp.Bool("hit", true)
 				sp.End()
 			}
-			return processResult{status: http.StatusOK, body: body, cached: true}
+			return processResult{status: http.StatusOK, body: body, cached: true, inputHash: key.Hex()}
 		}
 		// Second cache level: the persistent store. A hit promotes the
 		// artifact into the LRU so repeats stay off the disk too.
@@ -460,7 +484,7 @@ func (s *Server) process(ctx context.Context, img *imgproc.Gray, skipCache bool)
 					sp.Bool("hit", true).Bool("store", true)
 					sp.End()
 				}
-				return processResult{status: http.StatusOK, body: body, cached: true}
+				return processResult{status: http.StatusOK, body: body, cached: true, inputHash: key.Hex()}
 			}
 		}
 	}
@@ -523,7 +547,7 @@ func (s *Server) process(ctx context.Context, img *imgproc.Gray, skipCache bool)
 			s.storePuts.Inc()
 		}
 	}
-	return processResult{status: http.StatusOK, body: body}
+	return processResult{status: http.StatusOK, body: body, inputHash: key.Hex()}
 }
 
 // validArtifact screens a stored body before serving it: it must be a
@@ -799,6 +823,12 @@ func (s *Server) writeResult(w http.ResponseWriter, res processResult) {
 		w.Header().Set("X-Cache", "hit")
 	} else {
 		w.Header().Set("X-Cache", "miss")
+	}
+	if res.inputHash != "" {
+		// The content address of the uploaded picture: pass it back as the
+		// `ref` of a later /v1/verify call to skip re-uploading (and
+		// re-translating) the image.
+		w.Header().Set("X-Input-Hash", res.inputHash)
 	}
 	if res.status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", s.retryAfterSeconds())

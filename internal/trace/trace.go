@@ -79,8 +79,12 @@ type Crossing struct {
 }
 
 // Crossings returns every time the signal crosses level, with direction,
-// computed on the piecewise-linear interpolation. Samples exactly on the
-// level resolve by the segment's direction.
+// computed on the piecewise-linear interpolation. A segment counts when it
+// reaches or passes the level from strictly below (rising) or strictly
+// above (falling): closed on the arriving side, open on the departing side,
+// so a monotone transition yields exactly one crossing no matter how many
+// samples subdivide it — including a sample landing exactly on the level
+// mid-rise or mid-fall.
 func (s *Signal) Crossings(level float64) []Crossing {
 	var out []Crossing
 	for i := 1; i < len(s.Points); i++ {
@@ -89,15 +93,12 @@ func (s *Signal) Crossings(level float64) []Crossing {
 			continue
 		}
 		rising := b.V > a.V
-		lo, hi := a.V, b.V
-		if !rising {
-			lo, hi = b.V, a.V
-		}
-		// Cross when the open-closed interval passes the level (closed on
-		// the departing side so a segment starting exactly at the level
-		// counts once).
-		if level <= lo || level > hi {
-			if !(level == lo && ((rising && a.V == level) || (!rising && b.V == level))) {
+		if rising {
+			if !(a.V < level && level <= b.V) {
+				continue
+			}
+		} else {
+			if !(b.V <= level && level < a.V) {
 				continue
 			}
 		}

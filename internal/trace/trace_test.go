@@ -70,6 +70,32 @@ func TestCrossings(t *testing.T) {
 	}
 }
 
+func TestCrossingsOnLevelSampleCountsOnce(t *testing.T) {
+	// A sample landing exactly on the threshold mid-rise must not split the
+	// transition into two crossings (the segment arriving at the level and
+	// the segment departing from it used to both count).
+	rise := mkSignal(t, "X", Point{0, 0}, Point{1, 0.5}, Point{2, 1})
+	cr := rise.Crossings(0.5)
+	if len(cr) != 1 || !cr[0].Rising || math.Abs(cr[0].T-1) > 1e-12 {
+		t.Errorf("on-level mid-rise crossings = %+v, want one rising at t=1", cr)
+	}
+	fall := mkSignal(t, "X", Point{0, 1}, Point{1, 0.5}, Point{2, 0})
+	cr = fall.Crossings(0.5)
+	if len(cr) != 1 || cr[0].Rising || math.Abs(cr[0].T-1) > 1e-12 {
+		t.Errorf("on-level mid-fall crossings = %+v, want one falling at t=1", cr)
+	}
+	// Many on-level samples inside one monotone transition still count once.
+	stair := mkSignal(t, "X", Point{0, 0}, Point{1, 0.5}, Point{2, 0.5}, Point{3, 1})
+	if cr := stair.Crossings(0.5); len(cr) != 1 {
+		t.Errorf("plateau-at-level crossings = %+v, want one", cr)
+	}
+	// A touch (reach the level and retreat) counts exactly once, on arrival.
+	touch := mkSignal(t, "X", Point{0, 0}, Point{1, 0.5}, Point{2, 0})
+	if cr := touch.Crossings(0.5); len(cr) != 1 || !cr[0].Rising {
+		t.Errorf("touch crossings = %+v, want one rising", cr)
+	}
+}
+
 func TestCrossingsFlatSegments(t *testing.T) {
 	s := mkSignal(t, "X", Point{0, 0.5}, Point{1, 0.5})
 	if len(s.Crossings(0.5)) != 0 {

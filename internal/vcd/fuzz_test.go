@@ -19,6 +19,14 @@ func FuzzParse(f *testing.F) {
 	f.Add("#-1\n")
 	f.Add("#1e400\n")
 	f.Add("$timescale 999999999999999999999 ns $end\n")
+	// Non-monotone timestamps must be a parse error, not a late trace error.
+	f.Add("$var wire 1 ! w $end\n$enddefinitions $end\n#10\n1!\n#5\n0!\n")
+	// Vector changes may use only 0/1/x/z/X/Z bit characters.
+	f.Add("$var reg 4 % bus $end\n$enddefinitions $end\n#0\nb2foo %\n")
+	f.Add("$var reg 4 % bus $end\n$enddefinitions $end\n#0\nb1x0Z %\n")
+	// IEEE 1364 restricts timescale magnitudes to 1/10/100.
+	f.Add("$timescale 5ns $end\n$enddefinitions $end\n")
+	f.Add("$timescale 100 us $end\n$var real 64 ! v $end\n$enddefinitions $end\n#0\nr0.5 !\n")
 	f.Fuzz(func(t *testing.T, doc string) {
 		tr, err := Parse(strings.NewReader(doc))
 		if err != nil {

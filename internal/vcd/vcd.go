@@ -9,13 +9,16 @@
 // value changes (0/1/x/z + id), vector changes (b1010 id) and real changes
 // (r1.25 id). Multi-bit vectors are converted to their unsigned numeric
 // value; x/z resolve to 0.
+//
+// Two entry points share one decode loop: Parse materializes a whole
+// trace.Trace, while NewDecoder streams decoded samples to a Sink without
+// retaining them — the form the incremental monitor consumes, so dump size
+// does not bound memory.
 package vcd
 
 import (
-	"bufio"
 	"fmt"
 	"io"
-	"math"
 	"strconv"
 	"strings"
 
@@ -25,80 +28,34 @@ import (
 // Parse reads a VCD document into a trace. Signal names are the
 // dot-joined scope path plus the declared reference name.
 func Parse(r io.Reader) (*trace.Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-
 	tr := &trace.Trace{}
-	ids := map[string]*trace.Signal{}
-	var scope []string
-	now := 0.0
-	scale := 1.0
-	inDefs := true
-	lineNo := 0
-
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		fields := strings.Fields(line)
-		switch {
-		case inDefs && fields[0] == "$timescale":
-			// Either inline ("$timescale 1ns $end") or the value on the
-			// next lines; gather tokens until $end.
-			toks := fields[1:]
-			for !contains(toks, "$end") && sc.Scan() {
-				lineNo++
-				toks = append(toks, strings.Fields(sc.Text())...)
-			}
-			s, err := parseTimescale(toks)
-			if err != nil {
-				return nil, fmt.Errorf("vcd: line %d: %w", lineNo, err)
-			}
-			scale = s
-		case inDefs && fields[0] == "$scope":
-			if len(fields) >= 3 {
-				scope = append(scope, fields[2])
-			}
-		case inDefs && fields[0] == "$upscope":
-			if len(scope) > 0 {
-				scope = scope[:len(scope)-1]
-			}
-		case inDefs && fields[0] == "$var":
-			// $var <kind> <width> <id> <ref> [indices] $end
-			if len(fields) < 5 {
-				return nil, fmt.Errorf("vcd: line %d: malformed $var", lineNo)
-			}
-			id := fields[3]
-			name := fields[4]
-			if len(scope) > 0 {
-				name = strings.Join(scope, ".") + "." + name
-			}
-			ids[id] = tr.Add(name)
-		case fields[0] == "$enddefinitions":
-			inDefs = false
-		case strings.HasPrefix(fields[0], "$"):
-			// $comment/$date/$version/$dumpvars/$dumpall/$end...: skip.
-		case strings.HasPrefix(fields[0], "#"):
-			t, err := strconv.ParseFloat(fields[0][1:], 64)
-			// ParseFloat accepts "NaN"/"Inf"; a non-finite or negative
-			// timestamp would poison the trace's monotonicity check
-			// (NaN compares false against everything), so reject here.
-			if err != nil || math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
-				return nil, fmt.Errorf("vcd: line %d: bad timestamp %q", lineNo, fields[0])
-			}
-			now = t * scale
-		default:
-			if err := valueChange(ids, now, fields); err != nil {
-				return nil, fmt.Errorf("vcd: line %d: %w", lineNo, err)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	if err := NewDecoder(r, &traceSink{tr: tr}).Run(); err != nil {
 		return nil, err
 	}
 	return tr, nil
+}
+
+// traceSink materializes decoded samples into a trace.Trace. Distinct var
+// ids declaring the same (scoped) name share one signal, and therefore one
+// handle, matching the hold semantics of appending to a shared signal.
+type traceSink struct {
+	tr   *trace.Trace
+	sigs []*trace.Signal
+}
+
+func (s *traceSink) Declare(name string, binary bool) int {
+	sig := s.tr.Add(name)
+	for i, have := range s.sigs {
+		if have == sig {
+			return i
+		}
+	}
+	s.sigs = append(s.sigs, sig)
+	return len(s.sigs) - 1
+}
+
+func (s *traceSink) Change(h int, t, v float64) error {
+	return s.sigs[h].Append(t, v)
 }
 
 func contains(toks []string, want string) bool {
@@ -111,7 +68,8 @@ func contains(toks []string, want string) bool {
 }
 
 // parseTimescale converts tokens like ["1ns", "$end"] or ["10", "us",
-// "$end"] into seconds per time unit.
+// "$end"] into seconds per time unit. IEEE 1364 allows only magnitudes
+// 1, 10 and 100.
 func parseTimescale(toks []string) (float64, error) {
 	joined := ""
 	for _, t := range toks {
@@ -131,6 +89,9 @@ func parseTimescale(toks []string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if mag != 1 && mag != 10 && mag != 100 {
+		return 0, fmt.Errorf("timescale magnitude %d not 1, 10 or 100", mag)
+	}
 	unit := strings.TrimSpace(joined[i:])
 	mult, ok := map[string]float64{
 		"s": 1, "ms": 1e-3, "us": 1e-6, "ns": 1e-9, "ps": 1e-12, "fs": 1e-15,
@@ -139,76 +100,4 @@ func parseTimescale(toks []string) (float64, error) {
 		return 0, fmt.Errorf("unknown timescale unit %q", unit)
 	}
 	return float64(mag) * mult, nil
-}
-
-// valueChange applies one value-change line. Digital changes (scalar and
-// vector) follow VCD's hold semantics: the old value persists until the
-// change instant, so a hold point is inserted before the new value to keep
-// the piecewise-linear trace a step function. Real changes are analog
-// samples and interpolate linearly as recorded.
-func valueChange(ids map[string]*trace.Signal, now float64, fields []string) error {
-	tok := fields[0]
-	switch tok[0] {
-	case '0', '1', 'x', 'X', 'z', 'Z':
-		// Scalar: value and id share the token ("1!").
-		if len(tok) < 2 {
-			return fmt.Errorf("malformed scalar change %q", tok)
-		}
-		sig := ids[tok[1:]]
-		if sig == nil {
-			return fmt.Errorf("unknown id %q", tok[1:])
-		}
-		return appendStep(sig, now, scalarValue(tok[0]))
-	case 'b', 'B':
-		if len(fields) < 2 {
-			return fmt.Errorf("vector change missing id: %q", tok)
-		}
-		sig := ids[fields[1]]
-		if sig == nil {
-			return fmt.Errorf("unknown id %q", fields[1])
-		}
-		v := 0.0
-		for _, bit := range tok[1:] {
-			v *= 2
-			if bit == '1' {
-				v++
-			}
-		}
-		return appendStep(sig, now, v)
-	case 'r', 'R':
-		if len(fields) < 2 {
-			return fmt.Errorf("real change missing id: %q", tok)
-		}
-		sig := ids[fields[1]]
-		if sig == nil {
-			return fmt.Errorf("unknown id %q", fields[1])
-		}
-		v, err := strconv.ParseFloat(tok[1:], 64)
-		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("bad real value %q", tok)
-		}
-		return sig.Append(now, v)
-	}
-	return fmt.Errorf("unrecognised value change %q", tok)
-}
-
-func scalarValue(c byte) float64 {
-	if c == '1' {
-		return 1
-	}
-	return 0 // 0, x, z all resolve low
-}
-
-// appendStep records a digital change: the previous value is held right up
-// to the change instant.
-func appendStep(sig *trace.Signal, now, v float64) error {
-	if n := len(sig.Points); n > 0 {
-		last := sig.Points[n-1]
-		if last.V != v && last.T < now {
-			if err := sig.Append(now, last.V); err != nil {
-				return err
-			}
-		}
-	}
-	return sig.Append(now, v)
 }

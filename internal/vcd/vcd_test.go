@@ -7,6 +7,7 @@ import (
 
 	"tdmagic/internal/monitor"
 	"tdmagic/internal/spo"
+	"tdmagic/internal/trace"
 )
 
 const sampleVCD = `$date today $end
@@ -176,6 +177,173 @@ func TestParseTimescaleVariants(t *testing.T) {
 		if _, err := parseTimescale(append(strings.Fields(bad), "$end")); err == nil {
 			t.Errorf("parseTimescale(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParseRejectsNonMonotoneTimestamps(t *testing.T) {
+	_, err := Parse(strings.NewReader(`$timescale 1ns $end
+$var wire 1 ! w $end
+$enddefinitions $end
+#10
+1!
+#5
+0!
+`))
+	if err == nil {
+		t.Fatal("non-monotone timestamps accepted")
+	}
+	if !strings.Contains(err.Error(), "vcd: line 6") {
+		t.Errorf("error not a line-numbered VCD error: %v", err)
+	}
+	// Equal timestamps are legal (repeated #t sections).
+	if _, err := Parse(strings.NewReader(`$timescale 1ns $end
+$var wire 1 ! w $end
+$enddefinitions $end
+#5
+1!
+#5
+0!
+`)); err != nil {
+		t.Errorf("equal timestamps rejected: %v", err)
+	}
+}
+
+func TestParseRejectsInvalidVectorBits(t *testing.T) {
+	for _, chg := range []string{"b2 %", "b1O1 %", "b10f0 %"} {
+		doc := "$var reg 4 % bus $end\n$enddefinitions $end\n#0\n" + chg + "\n"
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("invalid vector bits accepted: %q", chg)
+		}
+	}
+	// x/z bits are legal and resolve low: b1x1z = 1010b = 10.
+	tr, err := Parse(strings.NewReader(`$var reg 4 % bus $end
+$enddefinitions $end
+#0
+b1x1Z %
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := tr.Signal("bus").Value(0); v != 10 {
+		t.Errorf("b1x1Z value = %v, want 10", v)
+	}
+}
+
+func TestParseRejectsBadTimescaleMagnitude(t *testing.T) {
+	for _, ts := range []string{"5ns", "1000 ps", "20us"} {
+		doc := "$timescale " + ts + " $end\n$enddefinitions $end\n"
+		if _, err := Parse(strings.NewReader(doc)); err == nil {
+			t.Errorf("timescale %q accepted; IEEE 1364 allows magnitudes 1/10/100 only", ts)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	in := &trace.Trace{}
+	a := in.Add("VINA")
+	for _, p := range []trace.Point{{T: 0, V: 0}, {T: 1e-9, V: 0}, {T: 1.5e-9, V: 1}, {T: 4e-9, V: 1}} {
+		if err := a.Append(p.T, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := in.Add("VOUTA")
+	for _, p := range []trace.Point{{T: 0, V: 0.1}, {T: 2e-9, V: 0.9}} {
+		if err := b.Append(p.T, p.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf strings.Builder
+	if err := Write(&buf, in, "1ps"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, buf.String())
+	}
+	for _, want := range in.Signals {
+		got := out.Signal(want.Name)
+		if got == nil {
+			t.Fatalf("signal %q lost", want.Name)
+		}
+		if len(got.Points) != len(want.Points) {
+			t.Fatalf("%q: %d points, want %d", want.Name, len(got.Points), len(want.Points))
+		}
+		for i, p := range want.Points {
+			q := got.Points[i]
+			if math.Abs(p.T-q.T) > 1e-12 || math.Abs(p.V-q.V) > 1e-12 {
+				t.Errorf("%q point %d = %+v, want %+v", want.Name, i, q, p)
+			}
+		}
+	}
+	if err := Write(&buf, in, "1 fortnights"); err == nil {
+		t.Error("bad timescale accepted")
+	}
+	bad := &trace.Trace{}
+	bad.Add("has space")
+	if err := Write(&buf, bad, "1ns"); err == nil {
+		t.Error("whitespace signal name accepted")
+	}
+}
+
+// recordSink captures decoder output for direct streaming assertions.
+type recordSink struct {
+	names  []string
+	binary []bool
+	events []struct {
+		h    int
+		t, v float64
+	}
+}
+
+func (s *recordSink) Declare(name string, binary bool) int {
+	s.names = append(s.names, name)
+	s.binary = append(s.binary, binary)
+	return len(s.names) - 1
+}
+
+func (s *recordSink) Change(h int, t, v float64) error {
+	s.events = append(s.events, struct {
+		h    int
+		t, v float64
+	}{h, t, v})
+	return nil
+}
+
+func TestDecoderStreamsWithHoldPoints(t *testing.T) {
+	doc := `$timescale 1ns $end
+$var wire 1 ! clk $end
+$var real 64 % v $end
+$enddefinitions $end
+#0
+0!
+r0.5 %
+#10
+1!
+`
+	sink := &recordSink{}
+	d := NewDecoder(strings.NewReader(doc), sink)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.names) != 2 || !sink.binary[0] || sink.binary[1] {
+		t.Fatalf("declares = %v binary = %v", sink.names, sink.binary)
+	}
+	// clk: 0@0, then hold 0@10ns, then 1@10ns. v: one real sample.
+	want := []struct {
+		h    int
+		t, v float64
+	}{{0, 0, 0}, {1, 0, 0.5}, {0, 10e-9, 0}, {0, 10e-9, 1}}
+	if len(sink.events) != len(want) {
+		t.Fatalf("events = %+v", sink.events)
+	}
+	for i, w := range want {
+		e := sink.events[i]
+		if e.h != w.h || math.Abs(e.t-w.t) > 1e-15 || e.v != w.v {
+			t.Errorf("event %d = %+v, want %+v", i, e, w)
+		}
+	}
+	if d.Bytes() != int64(len(doc)) {
+		t.Errorf("Bytes = %d, want %d", d.Bytes(), len(doc))
 	}
 }
 

@@ -1,0 +1,89 @@
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"tdmagic/internal/trace"
+)
+
+// Write encodes a trace as a VCD document that Parse round-trips: every
+// signal is declared as a real variable (analog samples interpolate
+// linearly, preserving ramp shapes), and sample times are expressed in the
+// given timescale (e.g. "1ps"). Choose a timescale fine enough for the
+// trace: times are rounded to whole ticks, and an error is returned if
+// rounding would reorder samples. Signal names containing whitespace
+// cannot be encoded.
+func Write(w io.Writer, tr *trace.Trace, timescale string) error {
+	scale, err := parseTimescale(append(strings.Fields(timescale), "$end"))
+	if err != nil {
+		return fmt.Errorf("vcd: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$timescale %s $end\n", timescale)
+	ids := make([]string, len(tr.Signals))
+	for i, sig := range tr.Signals {
+		if strings.ContainsAny(sig.Name, " \t\r\n") || sig.Name == "" {
+			return fmt.Errorf("vcd: cannot encode signal name %q", sig.Name)
+		}
+		ids[i] = varID(i)
+		fmt.Fprintf(bw, "$var real 64 %s %s $end\n", ids[i], sig.Name)
+	}
+	fmt.Fprintf(bw, "$enddefinitions $end\n")
+
+	// Merge the per-signal sample streams into one globally ordered dump.
+	type sample struct {
+		tick int64
+		sig  int
+		v    float64
+	}
+	var all []sample
+	for i, sig := range tr.Signals {
+		prev := int64(-1)
+		for _, p := range sig.Points {
+			if math.IsNaN(p.V) || math.IsInf(p.V, 0) {
+				return fmt.Errorf("vcd: non-finite value in %q", sig.Name)
+			}
+			tick := int64(math.Round(p.T / scale))
+			if tick < 0 {
+				return fmt.Errorf("vcd: negative time %v in %q", p.T, sig.Name)
+			}
+			if tick < prev {
+				return fmt.Errorf("vcd: timescale %s too coarse for %q (samples reorder)", timescale, sig.Name)
+			}
+			prev = tick
+			all = append(all, sample{tick: tick, sig: i, v: p.V})
+		}
+	}
+	// Stable-sort by tick so same-instant samples keep per-signal order.
+	sort.SliceStable(all, func(a, b int) bool { return all[a].tick < all[b].tick })
+	tick := int64(-1)
+	for _, s := range all {
+		if s.tick != tick {
+			fmt.Fprintf(bw, "#%d\n", s.tick)
+			tick = s.tick
+		}
+		fmt.Fprintf(bw, "r%g %s\n", s.v, ids[s.sig])
+	}
+	return bw.Flush()
+}
+
+// varID allocates printable single/multi-char VCD identifier codes
+// (ASCII 33..126, excluding '#' and '$' which start other line kinds).
+func varID(i int) string {
+	const alphabet = "!%&'()*+,-./:;<=>?@[]^_`{|}~" +
+		"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+	var b []byte
+	for {
+		b = append([]byte{alphabet[i%len(alphabet)]}, b...)
+		i /= len(alphabet)
+		if i == 0 {
+			return string(b)
+		}
+		i--
+	}
+}
