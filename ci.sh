@@ -12,6 +12,11 @@
 #                     identical tp/fp/fn under any permutation of the
 #                     detection/ground-truth lists (run again explicitly so
 #                     a -run filter in step 4 can never silently skip it)
+#   5b. zero-alloc guards: the disabled-observability paths (nil trace,
+#                     nil flight recorder, tracing-off translate hot path)
+#                     must stay at exactly zero allocations per operation;
+#                     run explicitly so a -run filter in step 4 can never
+#                     silently skip the AllocsPerRun pins
 #   6. fuzz smoke:    a few seconds of coverage-guided fuzzing on each
 #                     text parser (VCD, TDL); regressions on previously
 #                     found inputs fail immediately via the seed corpus
@@ -47,6 +52,10 @@
 #                     ref with measured-delay bounds), corrupt the dump and
 #                     assert violation verdicts on both surfaces plus the
 #                     tdverify_* series on /metrics
+#   8c. flight scrape: GET /debug/flight after the translate + verify
+#                     traffic and assert the recorder retained the traces
+#                     (translate roots, a verify span, request IDs on every
+#                     entry)
 #   9. PGO loop:      capture a fresh CPU profile from the smoke server's
 #                     /debug/pprof/profile while translating in a loop and
 #                     rebuild tdserve against it — proving the checked-in
@@ -60,6 +69,15 @@
 #                     at the kill (completed items answer from the store),
 #                     with the final NDJSON results byte-identical to an
 #                     uninterrupted cold run
+#  10b. live telemetry on the resumed job: tail /v1/jobs/{id}/events while
+#                     the restarted replica drains the remainder (snapshot
+#                     first, every item completed exactly once across
+#                     snapshot + tail, item events flagged resumed, terminal
+#                     state line, no truncation), follow the same job with
+#                     tdmagic -watch to its exit code, then assert the
+#                     tdstore_*/tdjobs_* series with exemplars on /metrics
+#                     and the job's root trace + job_done event in
+#                     /debug/flight
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -67,6 +85,8 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test -run 'TestMatchPermutationInvariance|TestMatchNearestWins|TestMatchShortSegmentThreshold' -count 1 ./internal/eval
+go test -run 'TestNilTraceZeroAlloc|TestNilRecorderZeroAlloc' -count 1 ./internal/obs
+go test -run 'TestDisabledTracingZeroAllocOnHotPath' -count 1 ./internal/core
 go test -run '^FuzzParse$' -fuzz '^FuzzParse$' -fuzztime 5s ./internal/vcd
 go test -run '^FuzzParse$' -fuzz '^FuzzParse$' -fuzztime 5s ./internal/tdl
 go test -run '^$' -bench BenchmarkFig1PipelineSingleImage -benchtime 1x .
@@ -243,6 +263,23 @@ grep -q 'tdverify_verdicts_total{outcome="violation"} [1-9]' "$tmp/vmetrics.txt"
 grep -q 'tdverify_trace_bytes_total [1-9]' "$tmp/vmetrics.txt"
 grep -q 'tdverify_check_seconds_count [1-9]' "$tmp/vmetrics.txt"
 
+# --- flight scrape: the smoke traffic above left retrievable traces --------
+# The recorder is on by default (-flight 256); every translate and verify
+# request so far must have landed a trace with its request ID.
+curl -fsS "http://$addr/debug/flight" >"$tmp/flight.json"
+python3 - "$tmp/flight.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+entries = d["entries"] + d["pinned"]
+assert entries, "flight recorder empty after smoke traffic"
+names = {e["name"] for e in entries}
+assert "translate" in names, f"no translate trace in the flight ring: {sorted(names)}"
+spans = {s["name"] for e in entries for s in e.get("spans") or []}
+assert "verify.check" in spans, f"no verify.check span recorded: {sorted(spans)}"
+for e in entries:
+    assert e["kind"] == "trace" and e["request_id"], e
+EOF
+
 # --- PGO loop: fresh profile from the live server, rebuild against it ------
 curl -fsS "http://$addr/debug/pprof/profile?seconds=4" -o "$tmp/cpu.pprof" &
 prof_pid=$!
@@ -336,14 +373,45 @@ kill -KILL "$serve_pid"
 wait "$serve_pid" || true
 serve_pid=""
 
-# Second generation: same journal, same store, full speed.
-start_jobs_server "$tmp/jobs2.out"
-i=0
-until curl -fsS "http://$addr/v1/jobs/$job_id" | grep -q '"state":"done"'; do
-	i=$((i + 1))
-	test "$i" -le 300
-	sleep 0.2
-done
+# Second generation: same journal, same store, throttled just enough that
+# the live event tail and the watch attach while the resumed job is still
+# draining its remainder.
+start_jobs_server "$tmp/jobs2.out" -jobs-throttle 30ms
+curl -fsSN "http://$addr/v1/jobs/$job_id/events?items=1" >"$tmp/resume_events.ndjson" &
+tail_pid=$!
+# tdmagic -watch follows the same stream and must exit 0 on "done".
+"$tmp/tdmagic" -watch "http://$addr/v1/jobs/$job_id" 2>"$tmp/watch.err"
+grep -q "job $job_id" "$tmp/watch.err"
+grep -q '50/50 done' "$tmp/watch.err"
+wait "$tail_pid" # the tail EOFs when the finished job closes its stream
+curl -fsS "http://$addr/v1/jobs/$job_id" | grep -q '"state":"done"'
+
+# The tail is the resume invariant, event by event: items journaled done
+# at the kill appear done in the snapshot and never again; the remainder
+# completes exactly once, flagged as resumed work.
+python3 - "$tmp/resume_events.ndjson" <<'EOF'
+import json, sys
+evs = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert evs and evs[0]["type"] == "snapshot", evs[:1]
+snap = evs[0]
+done_at_resume = {it["name"] for it in snap.get("items") or [] if it["state"] == "done"}
+total = snap["stats"]["total"]
+per = {}
+for e in evs[1:]:
+    if e["type"] == "item_done":
+        per[e["item"]] = per.get(e["item"], 0) + 1
+        assert e.get("resumed"), f"item_done in a resumed job not flagged resumed: {e}"
+assert per, "event tail attached only after the job finished (not live)"
+dups = {k: v for k, v in per.items() if v > 1}
+assert not dups, f"items completed more than once in the tail: {dups}"
+overlap = done_at_resume & set(per)
+assert not overlap, f"items done at the kill completed again: {sorted(overlap)[:5]}"
+assert len(done_at_resume) + len(per) == total, (len(done_at_resume), len(per), total)
+assert not any(e["type"] == "truncated" for e in evs), "tail was truncated"
+assert evs[-1]["type"] == "state" and evs[-1]["state"] == "done", evs[-1]
+print(f"resume tail: {len(done_at_resume)} done at kill + {len(per)} live = {total}")
+EOF
+
 # The resume invariant: items journaled done at the kill answer from the
 # store, so the second process translates at most the remainder.
 translated=$(curl -fsS "http://$addr/metrics" |
@@ -351,6 +419,30 @@ translated=$(curl -fsS "http://$addr/metrics" |
 test "$translated" -le $((50 - done_at_kill))
 curl -fsS "http://$addr/v1/jobs/$job_id/results" >"$tmp/resumed.ndjson"
 test "$(wc -l <"$tmp/resumed.ndjson")" -eq 50
+
+# Second-level store counters and the exemplar-linked job histogram: the
+# resumed run hits the store for journaled items, misses and writes back
+# the remainder, and every item attempt lands in tdjobs_item_seconds with
+# the job ID as its exemplar ref.
+curl -fsS "http://$addr/metrics" >"$tmp/jmetrics.txt"
+grep -q '^tdstore_hits_total [1-9]' "$tmp/jmetrics.txt"
+grep -q '^tdstore_misses_total [1-9]' "$tmp/jmetrics.txt"
+grep -q '^tdstore_writes_total [1-9]' "$tmp/jmetrics.txt"
+grep -q '^tdstore_corrupt_total 0$' "$tmp/jmetrics.txt"
+grep -q '^tdjobs_item_seconds_count [1-9]' "$tmp/jmetrics.txt"
+grep -q "^# EXEMPLAR tdjobs_item_seconds_bucket.* $job_id " "$tmp/jmetrics.txt"
+
+# The finished job left its root trace and terminal event in the flight
+# recorder, retrievable by job ID.
+curl -fsS "http://$addr/debug/flight?request_id=$job_id" >"$tmp/jobflight.json"
+python3 - "$tmp/jobflight.json" "$job_id" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+entries = d["entries"] + d["pinned"]
+kinds = {(e["kind"], e["name"]) for e in entries}
+assert ("trace", "job") in kinds, f"no job trace in flight for {sys.argv[2]}: {sorted(kinds)}"
+assert ("event", "job_done") in kinds, f"no job_done flight event: {sorted(kinds)}"
+EOF
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 serve_pid=""

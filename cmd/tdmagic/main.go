@@ -16,6 +16,7 @@
 //	tdmagic -model model.gob -batch corpus/ -out specs/ -cache .tdcache  # resumable
 //	tdmagic -model model.gob -verify -vcd dump.vcd -delays bounds.json diagram.png
 //	tdmagic -model model.gob -synth-vcd golden.vcd diagram.png # satisfying dump
+//	tdmagic -watch http://host:8080/v1/jobs/<id>      # live job progress line
 //	tdmagic -version                                  # build identity
 //
 // By default degraded inputs (low contrast, noise, cyclic interpretations)
@@ -79,12 +80,20 @@ func main() {
 		delaysPath  = flag.String("delays", "", "JSON file with admissible delay bounds per timing parameter")
 		synthVCD    = flag.String("synth-vcd", "", "write a VCD dump synthesized to satisfy the translated specification to this file")
 		timescale   = flag.String("timescale", "1ms", "VCD timescale for -synth-vcd and for interpreting verdict times")
+		watchURL    = flag.String("watch", "", "follow a tdserve job's live event stream by its URL (http://host:port/v1/jobs/<id>) and render a progress line; exits 0 when the job is done, 1 when it fails or is cancelled")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.Get())
 		return
+	}
+	if *watchURL != "" {
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(runWatch(*watchURL))
 	}
 	if *model == "" || (*batchDir == "" && flag.NArg() != 1) || (*batchDir != "" && flag.NArg() != 0) {
 		flag.Usage()

@@ -1,0 +1,166 @@
+// -watch: a live progress view over a tdserve job's event stream.
+//
+// The job URL's /events endpoint streams NDJSON lifecycle events — a
+// snapshot first, then claims, retries, quarantines, completions with
+// store hit/miss, checkpoints and the terminal state. runWatch renders
+// them as a single carriage-return progress line on stderr and exits
+// with the job's outcome. A stream that ends without a terminal state
+// (the server drained for a restart) is reconnected: the fresh snapshot
+// re-baselines the counters, so a watch rides through a crash-resume
+// cycle and keeps counting from the journal's truth.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"tdmagic/internal/jobs"
+)
+
+// watchState aggregates what the progress line shows. Counter baselines
+// come from snapshots (journal truth); item events advance them live.
+type watchState struct {
+	job         string
+	state       jobs.State
+	total       int
+	done        int
+	quarantined int
+	hits        int
+	misses      int
+	retries     int
+	dropped     uint64
+	lastErr     string
+}
+
+func (ws *watchState) applyStats(st *jobs.Stats) {
+	if st == nil {
+		return
+	}
+	ws.total = st.Total
+	ws.done = st.Done
+	ws.quarantined = st.Quarantined
+	ws.hits = st.Hits
+	ws.misses = st.Misses
+	ws.retries = st.Retries
+}
+
+// apply folds one event into the state and reports whether the progress
+// line changed.
+func (ws *watchState) apply(ev jobs.Event) bool {
+	if ev.Job != "" {
+		ws.job = ev.Job
+	}
+	switch ev.Type {
+	case jobs.EventSnapshot, jobs.EventSubmitted, jobs.EventResumed, jobs.EventTerminal:
+		if ev.State != "" {
+			ws.state = ev.State
+		}
+		ws.lastErr = ev.Error
+		ws.applyStats(ev.Stats)
+		return true
+	case jobs.EventDone:
+		ws.done++
+		if ev.Cached != nil && *ev.Cached {
+			ws.hits++
+		} else {
+			ws.misses++
+		}
+		return true
+	case jobs.EventRetried:
+		ws.retries++
+		return true
+	case jobs.EventQuarantined:
+		ws.quarantined++
+		return true
+	case jobs.EventTruncated:
+		ws.dropped += ev.Dropped
+		return true
+	}
+	return false
+}
+
+func (ws *watchState) line() string {
+	b := fmt.Sprintf("job %s %-9s %d/%d done", ws.job, ws.state, ws.done, ws.total)
+	if ws.hits+ws.misses > 0 {
+		b += fmt.Sprintf("  hits %d  misses %d", ws.hits, ws.misses)
+	}
+	if ws.retries > 0 {
+		b += fmt.Sprintf("  retries %d", ws.retries)
+	}
+	if ws.quarantined > 0 {
+		b += fmt.Sprintf("  quarantined %d", ws.quarantined)
+	}
+	if ws.dropped > 0 {
+		b += fmt.Sprintf("  (stream dropped %d events)", ws.dropped)
+	}
+	return b
+}
+
+// runWatch follows the job until a terminal state and returns the exit
+// code: 0 for done, 1 for failed or cancelled (or an unreachable job).
+func runWatch(jobURL string) int {
+	base := strings.TrimRight(jobURL, "/")
+	var ws watchState
+	render := func() {
+		// \r + erase-to-EOL keeps one live line without assuming width.
+		fmt.Fprintf(os.Stderr, "\r\x1b[K%s", ws.line())
+	}
+	connFailures := 0
+	for {
+		resp, err := http.Get(base + "/events")
+		if err != nil {
+			if connFailures++; connFailures > 30 {
+				fmt.Fprintf(os.Stderr, "\nwatch: %v\n", err)
+				return 1
+			}
+			time.Sleep(time.Second)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "watch: %s/events: %s\n", base, resp.Status)
+			return 1
+		}
+		connFailures = 0
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			var ev jobs.Event
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				continue // skip unparseable lines rather than dying mid-job
+			}
+			if ws.apply(ev) {
+				render()
+			}
+			if ev.Type == jobs.EventTerminal {
+				resp.Body.Close()
+				fmt.Fprintln(os.Stderr)
+				if ws.lastErr != "" {
+					fmt.Fprintf(os.Stderr, "watch: job %s: %s\n", ws.state, ws.lastErr)
+				}
+				if ws.state == jobs.StateDone {
+					return 0
+				}
+				return 1
+			}
+		}
+		resp.Body.Close()
+		if ws.state.Terminal() {
+			// Already-finished job: the stream is snapshot-then-EOF with no
+			// terminal event to react to.
+			fmt.Fprintln(os.Stderr)
+			if ws.state == jobs.StateDone {
+				return 0
+			}
+			return 1
+		}
+		// Stream ended without a terminal state: the server is draining or
+		// restarting. Reconnect; the next snapshot re-baselines everything.
+		time.Sleep(time.Second)
+	}
+}

@@ -14,16 +14,27 @@
 //	                          -> NDJSON stream of per-constraint verdicts
 //	POST   /v1/jobs              durable async job (with -jobs; multipart or manifest)
 //	GET    /v1/jobs/{id}         job status; /results streams ordered NDJSON
+//	GET    /v1/jobs/{id}/events  live NDJSON lifecycle stream (tdmagic -watch renders it)
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET  /healthz             liveness probe
 //	GET  /readyz              readiness probe (503 while draining or store unwritable)
 //	GET  /metrics             Prometheus text metrics
 //	GET  /version             build identity
+//	GET  /debug/flight        flight-recorder dump (with -flight)
 //	GET  /debug/pprof/*       runtime profiles
 //
 // Every request is tagged with an X-Request-ID (the client's, if sent) and
 // logged as one structured JSON line on stderr; POST /v1/translate?debug=1
 // returns the translation's per-stage span trace inline.
+//
+// With -flight N the server keeps a flight recorder: a bounded in-memory
+// ring of the last N request traces and job lifecycle events, dumped by
+// GET /debug/flight (filter with ?request_id=, ?name=, ?min_dur=). Any
+// request whose root span exceeds -flight-slow is pinned past ring
+// eviction, so the trace explaining a latency spike survives the traffic
+// that follows it. Histogram exemplars in /metrics carry the request (or
+// job) ID of the most recent observation per bucket, linking a spike in
+// tdmagic_translate_seconds straight to its flight-recorder entry.
 //
 // The service runs a bounded worker pool: -workers translations execute
 // concurrently, -queue more may wait, and anything beyond that is shed
@@ -84,6 +95,9 @@ func main() {
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 		quiet       = flag.Bool("quiet", false, "disable the per-request access log")
 		intraW      = flag.Int("intra-workers", 1, "goroutines tiling the perception kernels within each picture (default 1: the worker pool already runs one picture per core; raise only on big machines serving single hot requests)")
+		flightN     = flag.Int("flight", 256, "flight-recorder ring capacity in traces/events behind GET /debug/flight (0 disables)")
+		flightSlow  = flag.Duration("flight-slow", time.Second, "root-span duration that pins a trace past flight-ring eviction")
+		flightBytes = flag.Int("flight-bytes", 1<<20, "flight-recorder ring budget in estimated bytes")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
@@ -111,6 +125,13 @@ func main() {
 		MaxVCDBytes:     *maxVCD,
 		MaxJobBodyBytes: *maxJobBody,
 	}
+	if *flightN > 0 {
+		cfg.Flight = obs.NewRecorder(obs.RecorderConfig{
+			MaxEntries: *flightN,
+			MaxBytes:   *flightBytes,
+			Slow:       *flightSlow,
+		})
+	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -121,14 +142,17 @@ func main() {
 	if !*quiet {
 		cfg.Logger = obs.NewLogger(os.Stderr, nil)
 	}
+	if cfg.Registry == nil {
+		// serve.New would create a private registry; build it here so the
+		// store and job metrics land in the same exposition.
+		cfg.Registry = metrics.NewRegistry()
+	}
+	if cfg.Store != nil {
+		cfg.Store.SetMetrics(store.NewMetrics(cfg.Registry))
+	}
 	if *jobsDir != "" {
 		if cfg.Store == nil {
 			log.Fatal("-jobs requires -store: the artifact store is what makes job resume incremental")
-		}
-		// The job service shares the serving registry and logger, and a
-		// metrics registry must exist before serve.New claims it.
-		if cfg.Registry == nil {
-			cfg.Registry = metrics.NewRegistry()
 		}
 		js, err := jobs.Open(*jobsDir, pipe, cfg.Store, jobs.Config{
 			Workers:     *jobsWorkers,
@@ -136,8 +160,13 @@ func main() {
 			MaxAttempts: *jobsRetries,
 			Timeout:     *timeout,
 			Throttle:    *jobsPause,
-			Registry:    cfg.Registry,
-			Logger:      cfg.Logger,
+			// The recorder doubles as the job tracing switch: with it on,
+			// every job runs under a root span whose per-item children land
+			// in /debug/flight when the job finishes.
+			Trace:    cfg.Flight != nil,
+			Flight:   cfg.Flight,
+			Registry: cfg.Registry,
+			Logger:   cfg.Logger,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -384,6 +384,7 @@ func hitResult(r Result, input store.Hash, opts Options) (Result, bool) {
 	}
 	var a Artifact
 	if err := json.Unmarshal(data, &a); err != nil || a.SPO == nil {
+		opts.Store.NoteCorrupt()
 		return r, false
 	}
 	if opts.PersistReport && a.Report == nil {

@@ -207,9 +207,10 @@ func (p *Pipeline) Translate(img *imgproc.Gray) (*spo.SPO, *Report, error) {
 func (p *Pipeline) TranslateContext(ctx context.Context, img *imgproc.Gray) (out *spo.SPO, rep *Report, err error) {
 	if p.Metrics != nil {
 		p.Metrics.IntraWorkers.Set(int64(p.intraWorkers()))
+		ref := obs.RequestIDFrom(ctx) // "" when tracing is disabled: plain observe
 		start := time.Now()
 		defer func() {
-			p.Metrics.observe(time.Since(start), rep, err)
+			p.Metrics.observe(time.Since(start), rep, err, ref)
 		}()
 	}
 	return p.translateContext(ctx, img)

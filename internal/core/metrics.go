@@ -76,10 +76,13 @@ func stageHistogram(reg *metrics.Registry, stage string) *metrics.Histogram {
 		"per-stage wall-clock latency", nil)
 }
 
-// observe records one finished translation.
-func (m *PipelineMetrics) observe(d time.Duration, rep *Report, err error) {
+// observe records one finished translation. ref — the request ID when
+// the translation ran under a trace, "" otherwise — becomes the latency
+// histogram's bucket exemplar, linking a latency spike back to the
+// flight-recorder entry that explains it.
+func (m *PipelineMetrics) observe(d time.Duration, rep *Report, err error, ref string) {
 	m.Translations.Inc()
-	m.Latency.Observe(d.Seconds())
+	m.Latency.ObserveExemplar(d.Seconds(), ref)
 	if err != nil {
 		m.Failures.Inc()
 		if errors.Is(err, context.DeadlineExceeded) {

@@ -106,7 +106,9 @@ func VerifyStream(ctx context.Context, spec *monitor.Spec, dump io.Reader, emit 
 		spk.End()
 		return nil, err
 	}
-	dec := vcd.NewDecoder(dump, &ctxSink{ctx: ctx, s: checker})
+	sink := &ctxSink{ctx: ctx, s: checker, sp: spk}
+	dec := vcd.NewDecoder(dump, sink)
+	sink.bytes = dec.Bytes
 	err = dec.Run()
 	out.TraceBytes = dec.Bytes()
 	if m != nil {
@@ -134,18 +136,28 @@ func VerifyStream(ctx context.Context, spec *monitor.Spec, dump io.Reader, emit 
 				m.VerdictFail.Inc()
 			}
 		}
-		m.Latency.Observe(time.Since(start).Seconds())
+		m.Latency.ObserveExemplar(time.Since(start).Seconds(), obs.RequestIDFrom(ctx))
 	}
 	return out, nil
 }
 
+// VerifyProgressInterval is the decode-event stride between progress
+// span events on a traced verification: every this many value changes,
+// the "verify.check" span gains a "progress" event carrying the event
+// count and the dump byte offset, so a long check's advance is visible
+// in the flight recorder while it runs.
+const VerifyProgressInterval = 8192
+
 // ctxSink forwards decoder events to the stream checker, surfacing
 // context cancellation between events so a request deadline terminates
-// the decode of an arbitrarily long dump.
+// the decode of an arbitrarily long dump, and — when the check runs
+// under a trace — recording periodic progress events with byte offsets.
 type ctxSink struct {
-	ctx context.Context
-	s   *monitor.StreamChecker
-	n   int
+	ctx   context.Context
+	s     *monitor.StreamChecker
+	sp    *obs.Span    // "verify.check"; nil when tracing is disabled
+	bytes func() int64 // decoder byte offset, wired after construction
+	n     int
 }
 
 func (c *ctxSink) Declare(name string, binary bool) int {
@@ -156,6 +168,11 @@ func (c *ctxSink) Change(h int, t, v float64) error {
 	if c.n++; c.n&1023 == 0 {
 		if err := c.ctx.Err(); err != nil {
 			return err
+		}
+		// The nil guard keeps the untraced path free of the variadic
+		// argument allocation Event would otherwise force.
+		if c.sp != nil && c.n%VerifyProgressInterval == 0 {
+			c.sp.Event("progress", obs.I("events", int64(c.n)), obs.I("bytes", c.bytes()))
 		}
 	}
 	return c.s.Change(h, t, v)

@@ -118,6 +118,11 @@ type Record struct {
 	State State `json:"state"`
 	// Error explains a failed job.
 	Error string `json:"error,omitempty"`
+	// Submitter is the request ID of the submitting HTTP request, when one
+	// was present. It surfaces in snapshots, logs and flight events for
+	// correlation but never enters the results stream, which stays
+	// byte-identical across resubmissions.
+	Submitter string `json:"submitter,omitempty"`
 	// Created and Updated are unix-nano journal timestamps.
 	Created int64 `json:"created_unix_ns"`
 	Updated int64 `json:"updated_unix_ns"`
@@ -190,12 +195,13 @@ type ItemStatus struct {
 // Snapshot is a point-in-time view of a job, safe to hold after the
 // service moves on.
 type Snapshot struct {
-	ID      string `json:"id"`
-	State   State  `json:"state"`
-	Error   string `json:"error,omitempty"`
-	Created int64  `json:"created_unix_ns"`
-	Updated int64  `json:"updated_unix_ns"`
-	Stats   Stats  `json:"stats"`
+	ID        string `json:"id"`
+	State     State  `json:"state"`
+	Error     string `json:"error,omitempty"`
+	Submitter string `json:"submitter,omitempty"`
+	Created   int64  `json:"created_unix_ns"`
+	Updated   int64  `json:"updated_unix_ns"`
+	Stats     Stats  `json:"stats"`
 	// Items is populated only when explicitly requested.
 	Items []ItemStatus `json:"items,omitempty"`
 }

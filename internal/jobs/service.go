@@ -49,11 +49,16 @@ type Config struct {
 	Throttle time.Duration
 	// MaxItems caps a single job's item count (default 16384).
 	MaxItems int
-	// Trace attaches a span trace to every job: one "job.item" span per
-	// attempt (plus the pipeline's stage spans), exported through
-	// Snapshot.Items requests. Off by default — a 15k-item job's trace
-	// is real memory.
+	// Trace attaches a span trace to every job: a "job" root span with
+	// one "job.item" child per attempt (plus the pipeline's stage
+	// spans), carrying lease extensions, backoff sleeps, retries and
+	// quarantines as span events. Off by default — a 15k-item job's
+	// trace is real memory; the flight recorder truncates on capture.
 	Trace bool
+	// Flight, when non-nil, receives job lifecycle events and (with
+	// Trace) each finished job's trace, keyed by the job ID, so
+	// GET /debug/flight?request_id=<job> explains a job after the fact.
+	Flight *obs.Recorder
 	// Registry receives the tdjobs_ metrics; nil creates a private one.
 	Registry *metrics.Registry
 	// Logger receives job lifecycle events; nil disables logging.
@@ -109,6 +114,7 @@ type serviceMetrics struct {
 	journalErrs *metrics.Counter
 	jobsActive  *metrics.Gauge
 	inflight    *metrics.Gauge
+	itemSeconds *metrics.Histogram
 }
 
 // Service is the durable job engine. Open one over a store-backed
@@ -150,6 +156,9 @@ type job struct {
 	ctx      context.Context
 	cancel   context.CancelFunc
 	trace    *obs.Trace
+	span     *obs.Span     // "job" root span; nil unless Config.Trace
+	resumed  bool          // job was recovered from a journal after a restart
+	hub      eventHub      // live lifecycle event fan-out
 	wake     chan struct{} // buffered(1) scheduler kick
 	terminal chan struct{} // closed once rec.State is terminal
 	termOnce sync.Once
@@ -189,6 +198,7 @@ func Open(dir string, pipe *core.Pipeline, st *store.Store, cfg Config) (*Servic
 			journalErrs: reg.Counter("tdjobs_journal_errors_total", "failed journal checkpoints (state kept in memory, retried)"),
 			jobsActive:  reg.Gauge("tdjobs_jobs_active", "jobs currently scheduled"),
 			inflight:    reg.Gauge("tdjobs_items_inflight", "item attempts currently executing"),
+			itemSeconds: reg.Histogram("tdjobs_item_seconds", "wall-clock latency of item attempts (exemplar: job ID)", nil),
 		},
 	}
 	if err := s.recover(); err != nil {
@@ -230,24 +240,30 @@ func (s *Service) recover() error {
 				Error:   "journal unrecoverable: " + err.Error(),
 				Created: time.Now().UnixNano()}
 			_ = writeRecord(dir, rec)
-			s.track(rec, dir).closeTerminal()
+			parked := s.track(rec, dir)
+			parked.closeTerminal()
+			parked.hub.close()
 			continue
 		}
 		rec.ID = id // the directory is authoritative
 		j := s.track(rec, dir)
 		if rec.State.Terminal() {
 			j.closeTerminal()
+			j.hub.close()
 			continue
 		}
 		if rec.Config != s.cfgHash.Hex() {
 			j.mu.Lock()
 			j.setTerminalLocked(StateFailed, "pipeline configuration changed since submission")
 			j.mu.Unlock()
+			j.hub.close()
 			continue
 		}
 		// Leases held by the dead process are forfeit: reclaim every
 		// running item so the restarted scheduler re-dispatches it. Any
 		// whose artifact landed before the crash answers from the store.
+		j.resumed = true
+		j.span.Bool("resumed", true)
 		j.mu.Lock()
 		for i := range j.rec.Items {
 			if j.rec.Items[i].State == ItemRunning {
@@ -259,7 +275,10 @@ func (s *Service) recover() error {
 			}
 		}
 		j.checkpointLocked()
+		st := j.rec.stats()
+		j.hub.publish(Event{Type: EventResumed, Job: j.id, State: j.rec.State, Stats: &st})
 		j.mu.Unlock()
+		s.cfg.Flight.Event(j.id, "job_resumed")
 		s.start(j)
 		s.logJob(j, "job resumed")
 	}
@@ -290,7 +309,9 @@ func (s *Service) track(rec *Record, dir string) *job {
 	}
 	if s.cfg.Trace {
 		j.trace = obs.NewTrace(rec.ID)
-		j.ctx = obs.ContextWithTrace(j.ctx, j.trace)
+		j.span = j.trace.Start("job")
+		j.span.Int("items", int64(len(rec.Items)))
+		j.ctx = obs.ContextWithSpan(j.ctx, j.span)
 	}
 	s.mu.Lock()
 	s.jobs[rec.ID] = j
@@ -320,6 +341,15 @@ type ItemSpec struct {
 // job directory before the job is acknowledged, so an accepted
 // submission survives an immediate crash.
 func (s *Service) Submit(specs []ItemSpec) (Snapshot, error) {
+	return s.SubmitRequest("", specs)
+}
+
+// SubmitRequest is Submit carrying the X-Request-ID of the HTTP
+// submission. The ID is journaled with the job record and surfaces in
+// snapshots, logs and flight-recorder events, so a job is correlatable
+// with the access-log line that created it. It never enters the
+// results stream: item results stay byte-identical across re-runs.
+func (s *Service) SubmitRequest(requestID string, specs []ItemSpec) (Snapshot, error) {
 	s.mu.Lock()
 	closed := s.closed
 	s.mu.Unlock()
@@ -351,7 +381,8 @@ func (s *Service) Submit(specs []ItemSpec) (Snapshot, error) {
 	now := time.Now().UnixNano()
 	rec := Record{
 		ID: id, Config: s.cfgHash.Hex(), State: StateQueued,
-		Created: now, Updated: now,
+		Submitter: requestID,
+		Created:   now, Updated: now,
 		Items: make([]ItemRecord, len(specs)),
 	}
 	for i, sp := range specs {
@@ -371,6 +402,11 @@ func (s *Service) Submit(specs []ItemSpec) (Snapshot, error) {
 	}
 	j := s.track(&rec, dir)
 	s.m.submitted.Inc()
+	j.mu.Lock()
+	st := j.rec.stats()
+	j.hub.publish(Event{Type: EventSubmitted, Job: id, State: j.rec.State, Stats: &st})
+	j.mu.Unlock()
+	s.cfg.Flight.Event(id, "job_submitted", obs.I("items", int64(len(specs))))
 	s.start(j)
 	s.logJob(j, "job submitted")
 	return j.snapshot(false), nil
@@ -504,6 +540,7 @@ func (s *Service) Results(id string, fn func(ItemResult) error) error {
 			}
 			var a batch.Artifact
 			if json.Unmarshal(data, &a) != nil || a.SPO == nil {
+				s.st.NoteCorrupt()
 				r.Error = "artifact corrupt"
 				break
 			}
@@ -595,7 +632,8 @@ func (j *job) snapshot(withItems bool) Snapshot {
 func (j *job) snapshotLocked(withItems bool) Snapshot {
 	sn := Snapshot{
 		ID: j.rec.ID, State: j.rec.State, Error: j.rec.Error,
-		Created: j.rec.Created, Updated: j.rec.Updated,
+		Submitter: j.rec.Submitter,
+		Created:   j.rec.Created, Updated: j.rec.Updated,
 		Stats: j.rec.stats(),
 	}
 	if withItems {
@@ -627,6 +665,10 @@ func (j *job) setTerminalLocked(st State, msg string) {
 	j.rec.State = st
 	j.rec.Error = msg
 	j.checkpointLocked()
+	stats := j.rec.stats()
+	j.hub.publish(Event{Type: EventTerminal, Job: j.id, State: st, Error: msg, Stats: &stats})
+	j.svc.cfg.Flight.Event(j.id, "job_"+string(st),
+		obs.I("done", int64(stats.Done)), obs.I("quarantined", int64(stats.Quarantined)))
 	j.closeTerminal()
 }
 
@@ -643,6 +685,7 @@ func (j *job) checkpointLocked() {
 		return
 	}
 	j.dirty = false
+	j.hub.publish(Event{Type: EventCheckpoint, Job: j.id, State: j.rec.State})
 }
 
 // reclaimExpiredLocked takes back items whose lease lapsed: the worker is
@@ -677,6 +720,14 @@ func (j *job) failLocked(idx int, err error, ds []diag.Diagnostic) {
 	if it.Attempts >= j.svc.cfg.MaxAttempts {
 		it.State = ItemQuarantined
 		j.svc.m.quarantined.Inc()
+		if j.span != nil {
+			j.span.Event("quarantine", obs.I("index", int64(idx)),
+				obs.I("attempt", int64(it.Attempts)), obs.I("epoch", int64(j.epoch[idx])))
+		}
+		j.hub.publish(Event{Type: EventQuarantined, Job: j.id, Item: it.Name,
+			Index: idx, Attempt: it.Attempts, Epoch: j.epoch[idx], Error: it.Error})
+		j.svc.cfg.Flight.Event(j.id, "item_quarantined",
+			obs.I("index", int64(idx)), obs.I("attempt", int64(it.Attempts)))
 		if l := j.svc.cfg.Logger; l != nil {
 			l.Warn("item quarantined", slog.String("job", j.id),
 				slog.String("item", it.Name), slog.Int("attempts", it.Attempts),
@@ -689,6 +740,16 @@ func (j *job) failLocked(idx int, err error, ds []diag.Diagnostic) {
 	it.NotBefore = time.Now().Add(delay).UnixNano()
 	j.rec.Retries++
 	j.svc.m.retries.Inc()
+	if j.span != nil {
+		// One event for the retry decision, one for the backoff gate it
+		// opens — the trace shows both the failure and the sleep.
+		j.span.Event("retry", obs.I("index", int64(idx)),
+			obs.I("attempt", int64(it.Attempts)), obs.I("epoch", int64(j.epoch[idx])))
+		j.span.Event("backoff", obs.I("index", int64(idx)), obs.I("delay_ns", int64(delay)))
+	}
+	j.hub.publish(Event{Type: EventRetried, Job: j.id, Item: it.Name,
+		Index: idx, Attempt: it.Attempts, Epoch: j.epoch[idx],
+		DelayNS: int64(delay), Error: it.Error})
 }
 
 // nextReadyLocked picks the lowest-index dispatchable item, or -1 plus
@@ -751,6 +812,7 @@ func (j *job) run() {
 					j.checkpointLocked()
 				}
 				j.mu.Unlock()
+				j.finish()
 				return
 			}
 			j.mu.Unlock()
@@ -761,6 +823,7 @@ func (j *job) run() {
 			if j.inflight == 0 {
 				j.checkpointLocked() // durable resume point
 				j.mu.Unlock()
+				j.finish()
 				return
 			}
 			j.mu.Unlock()
@@ -795,6 +858,20 @@ func (j *job) run() {
 			j.mu.Unlock()
 		}
 	}
+}
+
+// finish runs once when the scheduler exits — terminal completion or a
+// drain pause. It ends the job's root span, captures the trace into the
+// flight recorder (so a finished job's per-item timeline survives in
+// /debug/flight), and closes the event hub: subscribers drain their
+// queues and then see EOF. A drain-paused stream ends the same way; the
+// client reconnects after the restart and the snapshot marks resumption.
+func (j *job) finish() {
+	if j.span != nil {
+		j.span.End()
+	}
+	j.svc.cfg.Flight.Capture(j.trace)
+	j.hub.close()
 }
 
 // waitKick blocks until a worker reports (or a short safety tick).
@@ -848,6 +925,8 @@ func (j *job) claim(idx int) {
 	ep := j.epoch[idx]
 	attempt := it.Attempts
 	j.inflight++
+	j.hub.publish(Event{Type: EventClaimed, Job: j.id, Item: it.Name,
+		Index: idx, Attempt: attempt, Epoch: ep, Resumed: j.resumed})
 	j.checkpointLocked()
 	j.mu.Unlock()
 	j.svc.m.inflight.Inc()
@@ -868,16 +947,18 @@ func (j *job) worker(idx int, ep uint64, attempt int) {
 		j.svc.m.inflight.Dec()
 		j.kick()
 	}()
+	var sp *obs.Span
+	if s := obs.StartSpan(j.ctx, "job.item"); s != nil {
+		sp = s.Int("index", int64(idx)).Int("attempt", int64(attempt)).
+			Int("epoch", int64(ep)).Bool("resumed", j.resumed)
+	}
 	hbDone := make(chan struct{})
 	hbExited := make(chan struct{})
 	go func() {
 		defer close(hbExited)
-		j.heartbeat(idx, ep, hbDone)
+		j.heartbeat(idx, ep, sp, hbDone)
 	}()
-	var sp *obs.Span
-	if s := obs.StartSpan(j.ctx, "job.item"); s != nil {
-		sp = s.Int("index", int64(idx)).Int("attempt", int64(attempt))
-	}
+	start := time.Now()
 	res := func() (r batch.Result) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -886,6 +967,7 @@ func (j *job) worker(idx int, ep uint64, attempt int) {
 		}()
 		return j.attempt(idx, attempt)
 	}()
+	j.svc.m.itemSeconds.ObserveExemplar(time.Since(start).Seconds(), j.id)
 	if sp != nil {
 		sp.Bool("cached", res.Cached).Bool("failed", res.Err != nil)
 		sp.End()
@@ -898,7 +980,7 @@ func (j *job) worker(idx int, ep uint64, attempt int) {
 // heartbeat extends the item's lease until the attempt returns. A
 // heartbeat suppressed by the fault hook — the stand-in for a dead
 // worker — lets the lease lapse and the scheduler reclaim the item.
-func (j *job) heartbeat(idx int, ep uint64, done <-chan struct{}) {
+func (j *job) heartbeat(idx int, ep uint64, sp *obs.Span, done <-chan struct{}) {
 	t := time.NewTicker(j.svc.cfg.Heartbeat)
 	defer t.Stop()
 	for {
@@ -918,6 +1000,15 @@ func (j *job) heartbeat(idx int, ep uint64, done <-chan struct{}) {
 		j.mu.Lock()
 		if j.epoch[idx] == ep && j.rec.Items[idx].State == ItemRunning {
 			j.rec.Items[idx].LeaseUntil = time.Now().Add(j.svc.cfg.LeaseTTL).UnixNano()
+			j.hub.publish(Event{Type: EventHeartbeat, Job: j.id,
+				Item: j.rec.Items[idx].Name, Index: idx, Epoch: ep})
+			j.mu.Unlock()
+			if sp != nil {
+				// Event is the one cross-goroutine-safe span mutator, so the
+				// worker's span can record its own lease extensions.
+				sp.Event("lease_extend", obs.I("epoch", int64(ep)))
+			}
+			continue
 		}
 		j.mu.Unlock()
 	}
@@ -1011,5 +1102,9 @@ func (j *job) report(idx int, ep uint64, res batch.Result) {
 		j.svc.m.misses.Inc()
 	}
 	j.svc.m.itemsDone.Inc()
+	cached := res.Cached
+	j.hub.publish(Event{Type: EventDone, Job: j.id, Item: it.Name,
+		Index: idx, Attempt: it.Attempts, Epoch: ep,
+		Cached: &cached, Resumed: j.resumed})
 	j.checkpointLocked()
 }

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1})
+	h.Observe(0.005) // plain observe: no exemplar
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "# EXEMPLAR") {
+		t.Fatalf("exemplar block without exemplars:\n%s", buf.String())
+	}
+
+	h.ObserveExemplar(0.005, "req-a")
+	h.ObserveExemplar(0.006, "req-b") // same bucket: most recent wins
+	h.ObserveExemplar(0.05, "")       // empty ref degrades to Observe
+	h.ObserveExemplar(5, "job-1")     // +Inf bucket
+	buf.Reset()
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# EXEMPLAR lat_seconds_bucket{le=\"0.01\"} req-b 0.006\n",
+		"# EXEMPLAR lat_seconds_bucket{le=\"+Inf\"} job-1 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `le="0.1"} `+"req") || strings.Count(out, "# EXEMPLAR") != 2 {
+		t.Errorf("unexpected exemplar lines:\n%s", out)
+	}
+	// Counts include every observation, exemplared or not.
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	// The block sits after the histogram series and is byte-stable.
+	if idx := strings.Index(out, "# EXEMPLAR"); idx < strings.Index(out, "lat_seconds_count") {
+		t.Error("exemplar block precedes the histogram series")
+	}
+	var buf2 bytes.Buffer
+	if err := r.WriteText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf2.String() {
+		t.Error("two scrapes of unchanged registry differ")
+	}
+	if e := h.BucketExemplar(0); e == nil || e.Ref != "req-b" {
+		t.Errorf("BucketExemplar(0) = %+v", e)
+	}
+	if h.BucketExemplar(99) != nil || h.BucketExemplar(-1) != nil {
+		t.Error("out-of-range bucket returned an exemplar")
+	}
+}
+
+func TestLabeledHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.LabeledHistogram("item_seconds", `outcome="ok"`, "", []float64{1})
+	h.ObserveExemplar(0.5, "job-7")
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# EXEMPLAR item_seconds_bucket{outcome=\"ok\",le=\"1\"} job-7 0.5\n"
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("missing %q in:\n%s", want, buf.String())
+	}
+}
+
+// expositionLine matches one sample of the Prometheus text format.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (?:[0-9.eE+-]+|NaN)$`)
+
+// parseExposition validates the full scrape: every line is a comment of
+// a known kind or a well-formed sample, and returns the sample count.
+func parseExposition(t *testing.T, out string) int {
+	t.Helper()
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") &&
+				!strings.HasPrefix(line, "# EXEMPLAR ") {
+				t.Fatalf("unknown comment line %q", line)
+			}
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		samples++
+	}
+	return samples
+}
+
+// TestConcurrentExpositionDeterministic hammers labelled counters and
+// histograms from GOMAXPROCS goroutines while scraping concurrently
+// (the -race half of the guarantee), then asserts the quiesced
+// exposition is parseable, complete and byte-identical across scrapes
+// (the determinism half).
+func TestConcurrentExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	const per = 2000
+	outcomes := []string{"hit", "miss", "retry", "quarantine"}
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() { // concurrent scraper: output discarded, races caught
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b bytes.Buffer
+			if err := r.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				lbl := fmt.Sprintf("outcome=%q", outcomes[i%len(outcomes)])
+				r.LabeledCounter("hammer_total", lbl, "hammered").Inc()
+				h := r.LabeledHistogram("hammer_seconds", lbl, "hammered", []float64{0.01, 0.1, 1})
+				if i%3 == 0 {
+					h.ObserveExemplar(float64(i%200)/100, fmt.Sprintf("w%d", w))
+				} else {
+					h.Observe(float64(i%200) / 100)
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	var a, b bytes.Buffer
+	if err := r.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("quiesced scrapes differ")
+	}
+	parseExposition(t, a.String())
+	out := a.String()
+	total := int64(0)
+	for _, o := range outcomes {
+		c := r.LabeledCounter("hammer_total", fmt.Sprintf("outcome=%q", o), "")
+		total += c.Value()
+		if !strings.Contains(out, fmt.Sprintf("hammer_total{outcome=%q} %d", o, c.Value())) {
+			t.Errorf("exposition missing counter for %s:\n%s", o, out)
+		}
+	}
+	if total != int64(workers)*per {
+		t.Errorf("lost increments: %d, want %d", total, int64(workers)*per)
+	}
+	if got := strings.Count(out, "# TYPE hammer_seconds histogram"); got != 1 {
+		t.Errorf("got %d TYPE headers for the vector, want 1", got)
+	}
+}

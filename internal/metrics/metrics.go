@@ -65,6 +65,20 @@ type Histogram struct {
 	bounds []float64
 	counts []atomic.Int64 // len(bounds)+1, last is +Inf
 	sum    atomic.Uint64  // math.Float64bits of the running sum
+
+	// ex holds the most recent exemplar per bucket (nil until a caller
+	// uses ObserveExemplar with a non-empty ref). Plain Observe never
+	// touches it, so the exemplar-free hot path stays allocation-free
+	// and the exposition stays byte-identical for exemplar-free series.
+	ex []atomic.Pointer[Exemplar] // len(bounds)+1, parallel to counts
+}
+
+// Exemplar links one recorded observation back to the request or job
+// that produced it, so a latency spike in a histogram bucket points at
+// a concrete flight-recorder / access-log entry instead of a number.
+type Exemplar struct {
+	Ref string  // request ID or job ID
+	Val float64 // the observed value
 }
 
 // DefBuckets are the default latency bounds in seconds, spanning sub-ms
@@ -80,18 +94,46 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+		ex:     make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v)
+}
+
+// ObserveExemplar records one value and remembers ref (a request or job
+// ID) as the most recent exemplar of the bucket the value lands in. An
+// empty ref degrades to a plain Observe, so call sites can pass
+// whatever ID the context carries — "" when tracing is disabled.
+func (h *Histogram) ObserveExemplar(v float64, ref string) {
+	i := h.observe(v)
+	if ref != "" {
+		h.ex[i].Store(&Exemplar{Ref: ref, Val: v})
+	}
+}
+
+// BucketExemplar returns the most recent exemplar of bucket i (bounds
+// index; len(bounds) is +Inf), or nil.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.ex) {
+		return nil
+	}
+	return h.ex[i].Load()
+}
+
+func (h *Histogram) observe(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
-			return
+			return i
 		}
 	}
 }
@@ -292,7 +334,13 @@ func (r *Registry) WriteText(w io.Writer) error {
 	return nil
 }
 
-// writeHistogram renders the cumulative _bucket/_sum/_count series.
+// writeHistogram renders the cumulative _bucket/_sum/_count series,
+// then one `# EXEMPLAR` comment line per bucket that has recorded an
+// exemplar: the bucket series, the originating request/job ID and the
+// observed value. Comments keep the exposition valid for any
+// Prometheus text parser while still exposing the metric→trace link;
+// the block is deterministic for a fixed sequence of observations
+// (most recent exemplar per bucket, buckets in bound order).
 func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
 	var cum int64
 	for i, ub := range h.bounds {
@@ -303,11 +351,27 @@ func writeHistogram(w io.Writer, name, labels string, h *Histogram) error {
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	_, err := fmt.Fprintf(w, "%s %d\n%s %g\n%s %d\n",
+	if _, err := fmt.Fprintf(w, "%s %d\n%s %g\n%s %d\n",
 		series(name, "_bucket", labels, `le="+Inf"`), cum,
 		series(name, "_sum", labels, ""), h.Sum(),
-		series(name, "_count", labels, ""), cum)
-	return err
+		series(name, "_count", labels, ""), cum); err != nil {
+		return err
+	}
+	for i := range h.ex {
+		e := h.ex[i].Load()
+		if e == nil {
+			continue
+		}
+		le := `le="+Inf"`
+		if i < len(h.bounds) {
+			le = fmt.Sprintf("le=%q", formatBound(h.bounds[i]))
+		}
+		if _, err := fmt.Fprintf(w, "# EXEMPLAR %s %s %g\n",
+			series(name, "_bucket", labels, le), e.Ref, e.Val); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // formatBound renders a bucket bound the way Prometheus does: shortest

@@ -11,12 +11,20 @@ import (
 // nanosecond offsets/durations so the export is integer-exact and
 // round-trips losslessly.
 type SpanExport struct {
-	ID      uint64 `json:"id"`
-	Parent  uint64 `json:"parent,omitempty"`
-	Name    string `json:"name"`
-	StartNS int64  `json:"start_ns"`
-	DurNS   int64  `json:"dur_ns"`
-	Attrs   []Attr `json:"attrs,omitempty"`
+	ID      uint64        `json:"id"`
+	Parent  uint64        `json:"parent,omitempty"`
+	Name    string        `json:"name"`
+	StartNS int64         `json:"start_ns"`
+	DurNS   int64         `json:"dur_ns"`
+	Attrs   []Attr        `json:"attrs,omitempty"`
+	Events  []EventExport `json:"events,omitempty"`
+}
+
+// EventExport is the serialised form of one span event.
+type EventExport struct {
+	Name  string `json:"name"`
+	AtNS  int64  `json:"at_ns"`
+	Attrs []Attr `json:"attrs,omitempty"`
 }
 
 // Export is the plain-JSON form of a trace: the request ID plus every
@@ -36,6 +44,17 @@ func (t *Trace) Export() *Export {
 	t.mu.Lock()
 	spans := make([]SpanExport, len(t.spans))
 	for i, s := range t.spans {
+		var evs []EventExport
+		if len(s.Events) > 0 {
+			evs = make([]EventExport, len(s.Events))
+			for j, ev := range s.Events {
+				evs[j] = EventExport{
+					Name:  ev.Name,
+					AtNS:  ev.At.Nanoseconds(),
+					Attrs: append([]Attr(nil), ev.Attrs...),
+				}
+			}
+		}
 		spans[i] = SpanExport{
 			ID:      s.ID,
 			Parent:  s.Parent,
@@ -43,6 +62,7 @@ func (t *Trace) Export() *Export {
 			StartNS: s.Start.Nanoseconds(),
 			DurNS:   s.Dur.Nanoseconds(),
 			Attrs:   append([]Attr(nil), s.Attrs...),
+			Events:  evs,
 		}
 	}
 	t.mu.Unlock()

@@ -45,8 +45,21 @@ type Attr struct {
 	Val int64  `json:"val"`
 }
 
+// SpanEvent is one timestamped point event inside a span: a lease
+// extension, a backoff sleep, a decode-progress tick. Events carry the
+// same integer attributes as spans so the export stays byte-stable.
+type SpanEvent struct {
+	Name  string        `json:"name"`
+	At    time.Duration `json:"-"` // offset from the trace epoch
+	Attrs []Attr        `json:"attrs,omitempty"`
+}
+
 // Span is one timed operation inside a trace. Fields are exported for
-// inspection after collection; mutate spans only through Int/Bool/End.
+// inspection after collection; mutate spans only through
+// Int/Bool/Event/End. Int/Bool/End are single-goroutine (the span
+// owner's); Event alone may be called from other goroutines (a
+// heartbeat extending a lease while the worker runs) — it serialises
+// on the trace mutex.
 type Span struct {
 	ID     uint64        // deterministic, derived from the request ID
 	Parent uint64        // 0 for a root span
@@ -54,6 +67,7 @@ type Span struct {
 	Start  time.Duration // offset from the trace epoch (monotonic)
 	Dur    time.Duration // set by End
 	Attrs  []Attr
+	Events []SpanEvent // appended by Event, guarded by tr.mu
 
 	tr    *Trace
 	began time.Time
@@ -177,6 +191,23 @@ func (s *Span) Bool(key string, v bool) *Span {
 	return s.Int(key, n)
 }
 
+// Event records a timestamped point event on the span. Unlike
+// Int/Bool, Event is safe to call from a goroutine other than the
+// span's owner (appends are serialised on the trace mutex), which is
+// what lease-extension heartbeats need. Nil-safe.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	ev := SpanEvent{Name: name, At: time.Since(s.tr.epoch), Attrs: attrs}
+	s.tr.mu.Lock()
+	s.Events = append(s.Events, ev)
+	s.tr.mu.Unlock()
+}
+
+// I builds one integer attribute, for Event call sites.
+func I(key string, v int64) Attr { return Attr{Key: key, Val: v} }
+
 // End stamps the span's duration from the monotonic clock and hands it
 // to the trace. A span must be ended exactly once; spans never ended do
 // not appear in the export. Nil-safe.
@@ -227,6 +258,25 @@ func StartSpan(ctx context.Context, name string) *Span {
 		return v.Start(name)
 	}
 	return nil
+}
+
+// TraceFrom returns the trace the context carries (directly or via its
+// current span), or nil. Allocation-free on the disabled path.
+func TraceFrom(ctx context.Context) *Trace {
+	switch v := ctx.Value(ctxKey{}).(type) {
+	case *Span:
+		return v.tr
+	case *Trace:
+		return v
+	}
+	return nil
+}
+
+// RequestIDFrom returns the request ID of the trace the context
+// carries, or "" when tracing is disabled. Allocation-free either way,
+// so hot paths can call it unconditionally (exemplar recording does).
+func RequestIDFrom(ctx context.Context) string {
+	return TraceFrom(ctx).RequestID()
 }
 
 // NewRequestID returns a fresh 16-hex-character request ID from

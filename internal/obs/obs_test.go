@@ -50,6 +50,10 @@ func TestNilTraceZeroAlloc(t *testing.T) {
 			ctx = ContextWithSpan(ctx, sp)
 		}
 		sp.Int("width", 900).Int("diags", 0).Bool("error", false)
+		sp.Event("tick")
+		if RequestIDFrom(ctx) != "" {
+			t.Fatal("request ID on a trace-free context")
+		}
 		sp.End()
 	})
 	if allocs != 0 {

@@ -86,7 +86,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error(), nil)
 		return
 	}
-	sn, err := s.cfg.Jobs.Submit(specs)
+	sn, err := s.cfg.Jobs.SubmitRequest(requestID(r), specs)
 	if err != nil {
 		if errors.Is(err, jobs.ErrClosed) {
 			s.writeError(w, http.StatusServiceUnavailable, "service is draining", nil)
@@ -195,13 +195,15 @@ func (s *Server) collectManifestSpecs(body io.Reader) ([]jobs.ItemSpec, error) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
-	if id == "" || (sub != "" && sub != "results") {
+	if id == "" || (sub != "" && sub != "results" && sub != "events") {
 		s.writeError(w, http.StatusNotFound, "no such resource", nil)
 		return
 	}
 	switch {
 	case sub == "results" && r.Method == http.MethodGet:
 		s.handleJobResults(w, id)
+	case sub == "events" && r.Method == http.MethodGet:
+		s.handleJobEvents(w, r, id)
 	case sub == "" && r.Method == http.MethodGet:
 		sn, ok := s.cfg.Jobs.Get(id, r.URL.Query().Get("items") == "1")
 		if !ok {
@@ -220,6 +222,41 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(sn)
 	default:
 		s.writeError(w, http.StatusMethodNotAllowed, "GET status or results, DELETE to cancel", nil)
+	}
+}
+
+// handleJobEvents streams a job's live lifecycle as NDJSON: a snapshot
+// line first (?items=1 adds per-item states to it), then every event as
+// it happens — claims, heartbeats, retries with backoff delays,
+// quarantines, store hit/miss on completion, checkpoints, the terminal
+// state — each line flushed immediately. The stream ends (EOF) when the
+// job's scheduler exits: terminal completion or a shutdown drain; a
+// watcher reconnects after a restart and the fresh snapshot shows the
+// resumed position. A subscriber that reads too slowly loses the newest
+// events and sees an in-band {"type":"truncated","dropped":N} marker at
+// the gap, so a stalled consumer can never wedge the job service.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, id string) {
+	sub, err := s.cfg.Jobs.Events(id, r.URL.Query().Get("items") == "1")
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "no such job", nil)
+		return
+	}
+	defer sub.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		ev, err := sub.Next(r.Context())
+		if err != nil {
+			return // io.EOF (stream closed) or the client went away
+		}
+		if enc.Encode(ev) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
 	}
 }
 

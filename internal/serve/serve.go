@@ -14,11 +14,13 @@
 //	POST   /v1/jobs              submit a durable async job (multipart or manifest)
 //	GET    /v1/jobs/{id}         job status (?items=1 for per-item detail)
 //	GET    /v1/jobs/{id}/results ordered NDJSON result stream (terminal jobs)
+//	GET    /v1/jobs/{id}/events  live NDJSON lifecycle stream (snapshot, then tail)
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET  /healthz             liveness + model summary
 //	GET  /readyz              readiness: 503 while draining or store unwritable
 //	GET  /metrics             Prometheus text exposition
 //	GET  /version             build identity (module version, VCS revision)
+//	GET  /debug/flight        flight-recorder dump of recent traces and events
 //	GET  /debug/pprof/*       runtime profiles
 //
 // Observability: every request is tagged with an X-Request-ID (the
@@ -26,7 +28,12 @@
 // carried through the structured access log. POST /v1/translate?debug=1
 // additionally runs the translation under a span trace and returns it
 // inline in the response, correlating each pipeline stage's latency and
-// detector counts with the request ID.
+// detector counts with the request ID. With a flight recorder configured
+// every translate and verify request runs under a trace that is captured
+// into the bounded in-memory ring behind GET /debug/flight — filterable
+// by request_id, root-span name and min_dur — with slow outliers pinned
+// past ring eviction, so "what did that slow request do" stays
+// answerable without a tracing backend.
 //
 // Backpressure model: at most Workers translations run at once; at most
 // QueueDepth further requests wait for a slot. A request that would grow
@@ -122,6 +129,12 @@ type Config struct {
 	// resolved against it and must not escape it). Empty restricts /v1/jobs
 	// to multipart uploads.
 	JobsManifestRoot string
+	// Flight, when non-nil, records every request's completed trace and
+	// the job service's lifecycle events into a bounded in-memory ring,
+	// served by GET /debug/flight. Nil disables recording (and the
+	// endpoint answers 404); the disabled path adds no allocations to the
+	// translate hot path.
+	Flight *obs.Recorder
 	// Registry receives the service and pipeline metrics; nil creates a
 	// private registry.
 	Registry *metrics.Registry
@@ -256,6 +269,7 @@ func New(pipe *core.Pipeline, cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/version", s.handleVersion)
+	s.mux.HandleFunc("/debug/flight", s.handleFlight)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -477,14 +491,17 @@ func (s *Server) process(ctx context.Context, img *imgproc.Gray, skipCache bool)
 		// Second cache level: the persistent store. A hit promotes the
 		// artifact into the LRU so repeats stay off the disk too.
 		if s.cfg.Store != nil {
-			if body, ok := s.cfg.Store.Get(s.cfgHash, key); ok && validArtifact(body) {
-				s.storeHits.Inc()
-				s.cache.put(key, body)
-				if sp := obs.StartSpan(ctx, "cache"); sp != nil {
-					sp.Bool("hit", true).Bool("store", true)
-					sp.End()
+			if body, ok := s.cfg.Store.Get(s.cfgHash, key); ok {
+				if validArtifact(body) {
+					s.storeHits.Inc()
+					s.cache.put(key, body)
+					if sp := obs.StartSpan(ctx, "cache"); sp != nil {
+						sp.Bool("hit", true).Bool("store", true)
+						sp.End()
+					}
+					return processResult{status: http.StatusOK, body: body, cached: true, inputHash: key.Hex()}
 				}
-				return processResult{status: http.StatusOK, body: body, cached: true, inputHash: key.Hex()}
+				s.cfg.Store.NoteCorrupt()
 			}
 		}
 	}
@@ -596,15 +613,54 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	debug := r.URL.Query().Get("debug") == "1"
 	var tr *obs.Trace
-	if debug {
+	if debug || s.cfg.Flight != nil {
+		// The flight recorder wants a trace for every request, not just
+		// debug ones; only debug bypasses the cache read, so a recorded
+		// cache hit is a one-span "cache" trace.
 		tr = obs.NewTrace(requestID(r))
 		ctx = obs.ContextWithTrace(ctx, tr)
 	}
 	res := s.process(ctx, img, debug)
+	// Capture before answering, errors and timeouts included — the slow
+	// trace that exceeded the deadline is exactly the one worth pinning.
+	s.cfg.Flight.Capture(tr)
 	if debug && res.status == http.StatusOK {
 		res = attachTrace(res, tr)
 	}
 	s.writeResult(w, res)
+}
+
+// handleFlight serves GET /debug/flight: a JSON dump of the flight
+// recorder's recent traces and events, oldest first, with slow-pinned
+// entries listed separately. Query parameters filter the dump:
+// request_id (exact; job events carry the job ID here), name (root-span
+// or event name), min_dur (Go duration, e.g. 250ms), limit (most recent
+// N after filtering).
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Flight == nil {
+		s.writeError(w, http.StatusNotFound, "flight recorder disabled", nil)
+		return
+	}
+	q := r.URL.Query()
+	f := obs.FlightFilter{RequestID: q.Get("request_id"), Name: q.Get("name")}
+	if v := q.Get("min_dur"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "min_dur: "+err.Error(), nil)
+			return
+		}
+		f.MinDur = d
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeError(w, http.StatusBadRequest, "limit must be a non-negative integer", nil)
+			return
+		}
+		f.Limit = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.cfg.Flight.Snapshot(f))
 }
 
 // attachTrace re-encodes a success body with the trace export appended.

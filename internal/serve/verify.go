@@ -29,6 +29,7 @@ import (
 
 	"tdmagic/internal/core"
 	"tdmagic/internal/monitor"
+	"tdmagic/internal/obs"
 	"tdmagic/internal/spo"
 	"tdmagic/internal/store"
 )
@@ -50,7 +51,11 @@ type verifyRequestSpec struct {
 
 // verifySpecLine is the first NDJSON line of a verification response.
 type verifySpecLine struct {
-	Type        string `json:"type"` // "spec"
+	Type string `json:"type"` // "spec"
+	// RequestID echoes the request's X-Request-ID into the stream itself,
+	// so a saved NDJSON transcript still correlates with the access log
+	// and the flight recorder after the response headers are gone.
+	RequestID   string `json:"request_id,omitempty"`
 	InputHash   string `json:"input_hash,omitempty"`
 	Cached      bool   `json:"cached"`
 	Nodes       int    `json:"nodes"`
@@ -100,6 +105,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.VerifyTimeout)
 	defer cancel()
+	if s.cfg.Flight != nil {
+		// Trace the whole request — translation (or store lookup), property
+		// compilation, the streaming check with its progress events — and
+		// capture it however the request ends.
+		tr := obs.NewTrace(requestID(r))
+		ctx = obs.ContextWithTrace(ctx, tr)
+		defer s.cfg.Flight.Capture(tr)
+	}
 
 	var (
 		p         *spo.SPO
@@ -184,7 +197,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 				s.writeError(w, http.StatusBadRequest, "vcd part must follow an image or ref part", nil)
 				return
 			}
-			s.runVerify(ctx, w, part, p, vspec, inputHash, cached)
+			s.runVerify(ctx, w, part, p, vspec, inputHash, cached, requestID(r))
 			return
 		default:
 			s.badRequests.Inc()
@@ -206,10 +219,13 @@ func (s *Server) lookupArtifact(key store.Hash) ([]byte, bool) {
 		return body, true
 	}
 	if s.cfg.Store != nil {
-		if body, ok := s.cfg.Store.Get(s.cfgHash, key); ok && validArtifact(body) {
-			s.storeHits.Inc()
-			s.cache.put(key, body)
-			return body, true
+		if body, ok := s.cfg.Store.Get(s.cfgHash, key); ok {
+			if validArtifact(body) {
+				s.storeHits.Inc()
+				s.cache.put(key, body)
+				return body, true
+			}
+			s.cfg.Store.NoteCorrupt()
 		}
 	}
 	return nil, false
@@ -219,7 +235,7 @@ func (s *Server) lookupArtifact(key store.Hash) ([]byte, bool) {
 // incremental monitor, writing NDJSON lines as verdicts land. The spec
 // line goes out before the first dump byte is read, so a client watching
 // the stream sees the compiled properties immediately.
-func (s *Server) runVerify(ctx context.Context, w http.ResponseWriter, dump io.Reader, p *spo.SPO, vs verifyRequestSpec, inputHash string, cached bool) {
+func (s *Server) runVerify(ctx context.Context, w http.ResponseWriter, dump io.Reader, p *spo.SPO, vs verifyRequestSpec, inputHash string, cached bool, rid string) {
 	spec := &monitor.Spec{
 		SPO:            p,
 		Delays:         vs.Delays,
@@ -265,6 +281,7 @@ func (s *Server) runVerify(ctx context.Context, w http.ResponseWriter, dump io.R
 	}
 	writeLine(verifySpecLine{
 		Type:        "spec",
+		RequestID:   rid,
 		InputHash:   inputHash,
 		Cached:      cached,
 		Nodes:       len(p.Nodes),

@@ -1,0 +1,58 @@
+package store
+
+import "tdmagic/internal/metrics"
+
+// Metrics counts artifact-level store traffic. The serve LRU in front
+// of the store has its own hit-ratio gauge; these counters close the
+// second-level blind spot — every batch, job and serve path that
+// shares one *Store reports through the same four series.
+type Metrics struct {
+	Hits    *metrics.Counter // artifact Get found a complete entry
+	Misses  *metrics.Counter // artifact Get found nothing readable
+	Writes  *metrics.Counter // artifact Put committed
+	Corrupt *metrics.Counter // stored artifact failed the caller's validation
+}
+
+// NewMetrics registers the tdstore_* counters on reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		Hits:    reg.Counter("tdstore_hits_total", "Artifact reads served from the persistent store."),
+		Misses:  reg.Counter("tdstore_misses_total", "Artifact reads that found no readable entry."),
+		Writes:  reg.Counter("tdstore_writes_total", "Artifacts committed to the persistent store."),
+		Corrupt: reg.Counter("tdstore_corrupt_total", "Stored artifacts rejected by caller validation (recomputed and healed)."),
+	}
+}
+
+// SetMetrics attaches counters to the store. Call before concurrent
+// use; a store without metrics counts nothing. Alias-index traffic is
+// deliberately not counted — aliases are a decode shortcut, not a
+// result cache, and counting them would distort the hit ratio.
+func (s *Store) SetMetrics(m *Metrics) { s.m = m }
+
+// NoteCorrupt is called by readers that validated a Get result and
+// found it undecodable or semantically invalid. The store cannot judge
+// artifact contents itself (it stores opaque bytes), so corruption is
+// caller-reported; the caller then recomputes and Put heals the entry.
+func (s *Store) NoteCorrupt() {
+	if s != nil && s.m != nil && s.m.Corrupt != nil {
+		s.m.Corrupt.Inc()
+	}
+}
+
+func (m *Metrics) hit() {
+	if m != nil && m.Hits != nil {
+		m.Hits.Inc()
+	}
+}
+
+func (m *Metrics) miss() {
+	if m != nil && m.Misses != nil {
+		m.Misses.Inc()
+	}
+}
+
+func (m *Metrics) write() {
+	if m != nil && m.Writes != nil {
+		m.Writes.Inc()
+	}
+}

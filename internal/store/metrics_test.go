@@ -1,0 +1,82 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdmagic/internal/metrics"
+)
+
+func TestStoreMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(reg)
+	s.SetMetrics(m)
+
+	cfg := HashBytes([]byte("cfg"))
+	input := HashBytes([]byte("input"))
+	if _, ok := s.Get(cfg, input); ok {
+		t.Fatal("empty store hit")
+	}
+	if err := s.Put(cfg, input, []byte("artifact")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(cfg, input); !ok {
+		t.Fatal("stored artifact missed")
+	}
+	s.NoteCorrupt()
+	// Alias traffic must not count: aliases are a decode shortcut.
+	if err := s.PutAlias(HashBytes([]byte("raw")), input); err != nil {
+		t.Fatal(err)
+	}
+	s.GetAlias(HashBytes([]byte("raw")))
+
+	for _, tc := range []struct {
+		c    *metrics.Counter
+		want int64
+		name string
+	}{
+		{m.Hits, 1, "hits"},
+		{m.Misses, 1, "misses"},
+		{m.Writes, 1, "writes"},
+		{m.Corrupt, 1, "corrupt"},
+	} {
+		if tc.c.Value() != tc.want {
+			t.Errorf("%s = %d, want %d", tc.name, tc.c.Value(), tc.want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tdstore_hits_total 1",
+		"tdstore_misses_total 1",
+		"tdstore_writes_total 1",
+		"tdstore_corrupt_total 1",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestStoreWithoutMetrics(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HashBytes([]byte("c"))
+	input := HashBytes([]byte("i"))
+	s.Get(cfg, input)
+	if err := s.Put(cfg, input, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.NoteCorrupt()
+	var nilStore *Store
+	nilStore.NoteCorrupt() // nil-safe for callers holding an optional store
+}

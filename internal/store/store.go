@@ -88,6 +88,7 @@ func HashImage(img *imgproc.Gray) Hash {
 // content.
 type Store struct {
 	root string
+	m    *Metrics // optional, attached by SetMetrics; nil counts nothing
 }
 
 // Open prepares (creating if necessary) a store rooted at dir and clears
@@ -157,8 +158,10 @@ func (s *Store) ProbeWritable() error {
 func (s *Store) Get(cfg, input Hash) ([]byte, bool) {
 	data, err := os.ReadFile(s.objPath(cfg, input))
 	if err != nil {
+		s.m.miss()
 		return nil, false
 	}
+	s.m.hit()
 	return data, true
 }
 
@@ -172,7 +175,11 @@ func (s *Store) Has(cfg, input Hash) bool {
 // tmp/ and renamed into place, so a concurrent or crashed reader never
 // sees a partial artifact.
 func (s *Store) Put(cfg, input Hash, data []byte) error {
-	return s.writeAtomic("put", s.objPath(cfg, input), data)
+	if err := s.writeAtomic("put", s.objPath(cfg, input), data); err != nil {
+		return err
+	}
+	s.m.write()
+	return nil
 }
 
 // Remove deletes the artifact under (cfg, input); missing entries are not
